@@ -1,0 +1,28 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <functional>
+#include <iostream>
+
+#include "exp/harness.hpp"
+#include "load/generators.hpp"
+#include "util/table.hpp"
+
+namespace nowlb::bench {
+
+/// Paper-style repetition: >= 3 measurements, mean with range bars.
+/// Seeds vary per repetition (stochastic loads differ; deterministic
+/// scenarios produce tight ranges).
+inline exp::RepeatedMeasurement measure(
+    int reps, const exp::ExperimentConfig& cfg,
+    const std::function<exp::Measurement(const exp::ExperimentConfig&)>&
+        run_once) {
+  return exp::repeat(reps, cfg, run_once);
+}
+
+inline void print_table(const Table& t) {
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace nowlb::bench

@@ -1,0 +1,22 @@
+// Cost-model calibration (DESIGN.md §5).
+//
+// Virtual-time constants are set so sequential execution times land at the
+// paper's scale on a Sun 4/330:
+//   MM  500x500        ~250 s  =>  ~2.0 us per multiply-accumulate
+//   SOR 2000x2000 x20  ~350 s  =>  ~4.4 us per 5-point update
+//   LU  n=500          ~120 s  =>  ~2.9 us per element update
+// Kernels charge these costs to the simulated CPU; optionally they also
+// perform the real arithmetic so results can be verified bit-for-bit
+// against sequential execution (tests use small sizes with real data,
+// benches use paper sizes in cost-only mode).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace nowlb::apps {
+
+inline constexpr sim::Time kMmMacCost = 2'000;       // 2.0 us per MAC
+inline constexpr sim::Time kSorUpdateCost = 4'375;   // 4.375 us per update
+inline constexpr sim::Time kLuUpdateCost = 2'900;    // 2.9 us per update
+
+}  // namespace nowlb::apps

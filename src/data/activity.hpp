@@ -1,0 +1,85 @@
+// Active/inactive slice tracking (§4.7).
+//
+// In applications like LU decomposition the distributed loop shrinks: after
+// outer iteration k, slices <= k have no future work. Load balancing moves
+// *work*, so only active slices are candidates for movement; inactive data
+// stays where it last lived.
+#pragma once
+
+#include <vector>
+
+#include "data/index_set.hpp"
+#include "data/slice.hpp"
+#include "util/check.hpp"
+
+namespace nowlb::data {
+
+class ActivityMask {
+ public:
+  explicit ActivityMask(int total) : active_(total, true) {}
+
+  int total() const { return static_cast<int>(active_.size()); }
+
+  bool active(SliceId s) const {
+    NOWLB_CHECK(s >= 0 && s < total());
+    return active_[s];
+  }
+
+  void deactivate(SliceId s) {
+    NOWLB_CHECK(s >= 0 && s < total());
+    active_[s] = false;
+  }
+
+  /// Deactivate every slice below `first_active` (LU's shrinking front).
+  void deactivate_below(SliceId first_active) {
+    for (SliceId s = 0; s < first_active && s < total(); ++s)
+      active_[s] = false;
+  }
+
+  int active_count() const {
+    int n = 0;
+    for (bool a : active_) n += a ? 1 : 0;
+    return n;
+  }
+
+  /// Count of active slices within an owned set.
+  int active_in(const IndexSet& owned) const {
+    int n = 0;
+    for (SliceId s : owned) n += active(s) ? 1 : 0;
+    return n;
+  }
+
+  /// The `n` largest active ids in `owned` (candidates for sending right).
+  std::vector<SliceId> highest_active(const IndexSet& owned, int n) const;
+  /// The `n` smallest active ids in `owned` (candidates for sending left).
+  std::vector<SliceId> lowest_active(const IndexSet& owned, int n) const;
+
+ private:
+  std::vector<bool> active_;
+};
+
+inline std::vector<SliceId> ActivityMask::highest_active(const IndexSet& owned,
+                                                         int n) const {
+  std::vector<SliceId> out;
+  const auto& ids = owned.ids();
+  for (auto it = ids.rbegin(); it != ids.rend() && static_cast<int>(out.size()) < n; ++it) {
+    if (active(*it)) out.push_back(*it);
+  }
+  NOWLB_CHECK(static_cast<int>(out.size()) == n,
+              "requested " << n << " active slices, found " << out.size());
+  return out;
+}
+
+inline std::vector<SliceId> ActivityMask::lowest_active(const IndexSet& owned,
+                                                        int n) const {
+  std::vector<SliceId> out;
+  for (SliceId s : owned) {
+    if (static_cast<int>(out.size()) == n) break;
+    if (active(s)) out.push_back(s);
+  }
+  NOWLB_CHECK(static_cast<int>(out.size()) == n,
+              "requested " << n << " active slices, found " << out.size());
+  return out;
+}
+
+}  // namespace nowlb::data

@@ -1,0 +1,122 @@
+// DistArray<T>: a slave's local portion of a 1-D-distributed 2-D array.
+//
+// The array is distributed by slices (e.g. columns); each slice is a fixed-
+// length vector of T. Because load balancing moves slices at run time, the
+// local portion is not a contiguous block: slices are looked up through the
+// owned-index structure — the paper's "extra level of indirection" (§4.5).
+//
+// Each slice carries an application-defined integer `marker`, used by
+// pipelined applications (SOR) to track how far a moved slice has been
+// computed, enabling the catch-up / set-aside reconciliation of §4.5.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "data/slice.hpp"
+#include "msg/serialize.hpp"
+#include "util/check.hpp"
+
+namespace nowlb::data {
+
+template <typename T>
+class DistArray {
+ public:
+  explicit DistArray(std::size_t slice_len) : slice_len_(slice_len) {}
+
+  std::size_t slice_len() const { return slice_len_; }
+
+  bool owns(SliceId s) const { return slices_.count(s) > 0; }
+  int owned_count() const { return static_cast<int>(slices_.size()); }
+
+  /// Add a slice with the given contents (used at initial distribution and
+  /// when receiving moved work).
+  void add(SliceId id, std::vector<T> contents, int marker = 0) {
+    NOWLB_CHECK(contents.size() == slice_len_,
+                "slice " << id << " has wrong length " << contents.size());
+    const auto [it, inserted] =
+        slices_.emplace(id, Slice{std::move(contents), marker});
+    NOWLB_CHECK(inserted, "slice " << id << " already present");
+    (void)it;
+  }
+
+  /// Remove a slice and return its contents (used when sending work away).
+  std::pair<std::vector<T>, int> remove(SliceId id) {
+    const auto it = slices_.find(id);
+    NOWLB_CHECK(it != slices_.end(), "slice " << id << " not present");
+    auto result = std::make_pair(std::move(it->second.data), it->second.marker);
+    slices_.erase(it);
+    return result;
+  }
+
+  std::vector<T>& slice(SliceId id) {
+    const auto it = slices_.find(id);
+    NOWLB_CHECK(it != slices_.end(), "slice " << id << " not local");
+    return it->second.data;
+  }
+  const std::vector<T>& slice(SliceId id) const {
+    const auto it = slices_.find(id);
+    NOWLB_CHECK(it != slices_.end(), "slice " << id << " not local");
+    return it->second.data;
+  }
+
+  int marker(SliceId id) const {
+    const auto it = slices_.find(id);
+    NOWLB_CHECK(it != slices_.end(), "slice " << id << " not local");
+    return it->second.marker;
+  }
+  void set_marker(SliceId id, int m) {
+    const auto it = slices_.find(id);
+    NOWLB_CHECK(it != slices_.end(), "slice " << id << " not local");
+    it->second.marker = m;
+  }
+
+  /// Sorted ids of locally held slices.
+  std::vector<SliceId> owned_ids() const {
+    std::vector<SliceId> out;
+    out.reserve(slices_.size());
+    for (const auto& [id, _] : slices_) out.push_back(id);
+    return out;
+  }
+
+  /// Serialize the given slices (removing them) into a movement payload.
+  msg::Bytes pack_and_remove(const std::vector<SliceId>& ids) {
+    msg::Writer w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(ids.size()));
+    for (SliceId id : ids) {
+      auto [contents, marker] = remove(id);
+      w.put<std::int32_t>(id);
+      w.put<std::int32_t>(marker);
+      w.put_vec(contents);
+    }
+    return w.take();
+  }
+
+  /// Integrate a movement payload produced by pack_and_remove; returns the
+  /// ids received (already added to the local set).
+  std::vector<SliceId> unpack_and_add(const msg::Bytes& payload) {
+    msg::Reader r(payload);
+    const auto n = r.get<std::uint32_t>();
+    std::vector<SliceId> ids;
+    ids.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto id = r.get<std::int32_t>();
+      const auto marker = r.get<std::int32_t>();
+      auto contents = r.get_vec<T>();
+      add(id, std::move(contents), marker);
+      ids.push_back(id);
+    }
+    return ids;
+  }
+
+ private:
+  struct Slice {
+    std::vector<T> data;
+    int marker = 0;
+  };
+
+  std::size_t slice_len_;
+  std::map<SliceId, Slice> slices_;  // ordered for deterministic iteration
+};
+
+}  // namespace nowlb::data

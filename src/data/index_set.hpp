@@ -1,0 +1,82 @@
+// IndexSet: the paper's "index array" — the set of slice ids a slave
+// currently owns, maintained sorted for deterministic iteration and cheap
+// min/max queries (restricted movement always moves edge slices).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "data/slice.hpp"
+#include "util/check.hpp"
+
+namespace nowlb::data {
+
+class IndexSet {
+ public:
+  IndexSet() = default;
+  explicit IndexSet(SliceRange r) {
+    ids_.reserve(static_cast<std::size_t>(std::max(0, r.count())));
+    for (SliceId s = r.begin; s < r.end; ++s) ids_.push_back(s);
+  }
+
+  bool contains(SliceId s) const {
+    return std::binary_search(ids_.begin(), ids_.end(), s);
+  }
+
+  void insert(SliceId s) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), s);
+    NOWLB_CHECK(it == ids_.end() || *it != s, "slice " << s << " already owned");
+    ids_.insert(it, s);
+  }
+
+  void erase(SliceId s) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), s);
+    NOWLB_CHECK(it != ids_.end() && *it == s, "slice " << s << " not owned");
+    ids_.erase(it);
+  }
+
+  int size() const { return static_cast<int>(ids_.size()); }
+  bool empty() const { return ids_.empty(); }
+
+  SliceId min() const {
+    NOWLB_CHECK(!ids_.empty());
+    return ids_.front();
+  }
+  SliceId max() const {
+    NOWLB_CHECK(!ids_.empty());
+    return ids_.back();
+  }
+
+  /// Take the `n` smallest ids out of the set (for sending left).
+  std::vector<SliceId> take_lowest(int n);
+  /// Take the `n` largest ids out of the set (for sending right).
+  std::vector<SliceId> take_highest(int n);
+
+  /// True iff the ids form one contiguous block (block-distribution check).
+  bool is_contiguous() const {
+    return ids_.empty() || ids_.back() - ids_.front() + 1 == size();
+  }
+
+  const std::vector<SliceId>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+ private:
+  std::vector<SliceId> ids_;  // sorted ascending, unique
+};
+
+inline std::vector<SliceId> IndexSet::take_lowest(int n) {
+  NOWLB_CHECK(n >= 0 && n <= size(), "take_lowest(" << n << ") of " << size());
+  std::vector<SliceId> out(ids_.begin(), ids_.begin() + n);
+  ids_.erase(ids_.begin(), ids_.begin() + n);
+  return out;
+}
+
+inline std::vector<SliceId> IndexSet::take_highest(int n) {
+  NOWLB_CHECK(n >= 0 && n <= size(), "take_highest(" << n << ") of " << size());
+  std::vector<SliceId> out(ids_.end() - n, ids_.end());
+  ids_.erase(ids_.end() - n, ids_.end());
+  return out;
+}
+
+}  // namespace nowlb::data

@@ -1,0 +1,38 @@
+#include "data/slice.hpp"
+
+#include <algorithm>
+
+namespace nowlb::data {
+
+BlockMap BlockMap::even(int total, int slaves) {
+  NOWLB_CHECK(slaves > 0 && total >= 0);
+  std::vector<int> counts(slaves, total / slaves);
+  for (int r = 0; r < total % slaves; ++r) ++counts[r];
+  return from_counts(counts);
+}
+
+BlockMap BlockMap::from_counts(const std::vector<int>& counts) {
+  BlockMap m;
+  m.bounds_.resize(counts.size() + 1);
+  m.bounds_[0] = 0;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    NOWLB_CHECK(counts[r] >= 0, "negative count for rank " << r);
+    m.bounds_[r + 1] = m.bounds_[r] + counts[r];
+  }
+  return m;
+}
+
+std::vector<int> BlockMap::counts() const {
+  std::vector<int> out(slaves());
+  for (int r = 0; r < slaves(); ++r) out[r] = count(r);
+  return out;
+}
+
+int BlockMap::owner(SliceId s) const {
+  NOWLB_CHECK(s >= 0 && s < total(), "slice " << s << " out of range");
+  // First boundary strictly greater than s; rank is one before it.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), s);
+  return static_cast<int>(it - bounds_.begin()) - 1;
+}
+
+}  // namespace nowlb::data

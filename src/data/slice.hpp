@@ -1,0 +1,65 @@
+// Slices: the unit of work and data distribution.
+//
+// The paper distributes iterations of one loop (the "distributed loop");
+// iteration i owns data slice i (owner-computes). A slice is identified by
+// its global index; SliceRange is a contiguous block of them.
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace nowlb::data {
+
+/// Global index of a work/data slice (e.g. a matrix column).
+using SliceId = int;
+
+/// Half-open contiguous range of slices [begin, end).
+struct SliceRange {
+  SliceId begin = 0;
+  SliceId end = 0;
+
+  int count() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool contains(SliceId s) const { return s >= begin && s < end; }
+
+  friend bool operator==(const SliceRange&, const SliceRange&) = default;
+};
+
+/// Block-distribution boundaries: slave r owns [bounds[r], bounds[r+1]).
+/// This is the distribution shape the paper maintains for applications with
+/// loop-carried dependences (restricted work movement, Fig. 1b).
+class BlockMap {
+ public:
+  BlockMap() = default;
+
+  /// Even block distribution of `total` slices over `slaves` ranks
+  /// (first `total % slaves` ranks get one extra).
+  static BlockMap even(int total, int slaves);
+
+  /// Build from per-rank counts.
+  static BlockMap from_counts(const std::vector<int>& counts);
+
+  int slaves() const { return static_cast<int>(bounds_.size()) - 1; }
+  int total() const { return bounds_.empty() ? 0 : bounds_.back(); }
+
+  SliceRange range(int rank) const {
+    NOWLB_CHECK(rank >= 0 && rank < slaves(), "rank " << rank);
+    return {bounds_[rank], bounds_[rank + 1]};
+  }
+  int count(int rank) const { return range(rank).count(); }
+  std::vector<int> counts() const;
+
+  /// Rank owning slice `s`.
+  int owner(SliceId s) const;
+
+  const std::vector<SliceId>& bounds() const { return bounds_; }
+
+  friend bool operator==(const BlockMap&, const BlockMap&) = default;
+
+ private:
+  // bounds_[0] == 0, bounds_[slaves()] == total, non-decreasing.
+  std::vector<SliceId> bounds_;
+};
+
+}  // namespace nowlb::data

@@ -1,0 +1,82 @@
+// Experiment harness: runs the paper's measurement scenarios and computes
+// its metrics (§5.1).
+//
+//   speedup    = T_sequential / T_elapsed
+//   efficiency = T_sequential / sum_over_slaves(T_elapsed - T_competing)
+//
+// where T_competing is the CPU time consumed by competing tasks on each
+// slave's workstation (the paper's getrusage measurement; exact here).
+// The sequential time is the calibrated cost model's single-processor
+// execution time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/lu.hpp"
+#include "apps/mm.hpp"
+#include "apps/sor.hpp"
+#include "lb/cluster.hpp"
+#include "sim/world.hpp"
+#include "util/stats.hpp"
+
+namespace nowlb::exp {
+
+/// A competing load to attach to one slave's host.
+struct LoadSpec {
+  int rank = 0;
+  std::function<sim::ProcessBody()> make;
+};
+
+/// One measured run.
+struct Measurement {
+  double elapsed_s = 0;     // application completion (wall, virtual)
+  double seq_s = 0;         // sequential execution time
+  double speedup = 0;       // seq / elapsed
+  double efficiency = 0;    // paper's resource-usage efficiency
+  double competing_cpu_s = 0;  // total competing CPU during the run
+  lb::MasterStats stats;
+};
+
+struct ExperimentConfig {
+  int slaves = 4;
+  lb::LbConfig lb;
+  sim::WorldConfig world;
+  std::vector<LoadSpec> loads;
+  /// Copy the master's trace series (lb.*) out of the world recorder.
+  bool want_trace = false;
+};
+
+/// Trace series extracted from a run (for Fig. 9-style plots).
+struct Trace {
+  std::vector<std::string> names;
+  std::vector<Series> series;
+  const Series* find(const std::string& name) const;
+};
+
+Measurement run_mm(const apps::MmConfig& app, const ExperimentConfig& cfg,
+                   Trace* trace = nullptr);
+Measurement run_sor(const apps::SorConfig& app, const ExperimentConfig& cfg,
+                    Trace* trace = nullptr);
+Measurement run_lu(const apps::LuConfig& app, const ExperimentConfig& cfg,
+                   Trace* trace = nullptr);
+
+/// Paper-calibrated defaults: 100 ms quantum hosts on a 100 MB/s network,
+/// 500 ms minimum balancing period.
+sim::WorldConfig paper_world();
+lb::LbConfig paper_lb();
+
+/// Run `reps` repetitions with varied world seeds, accumulating the three
+/// headline numbers ("average of at least 3 measurements" with range bars).
+struct RepeatedMeasurement {
+  Accumulator elapsed_s;
+  Accumulator speedup;
+  Accumulator efficiency;
+  lb::MasterStats last_stats;
+};
+RepeatedMeasurement repeat(
+    int reps, const ExperimentConfig& cfg,
+    const std::function<Measurement(const ExperimentConfig&)>& run_once);
+
+}  // namespace nowlb::exp

@@ -1,0 +1,69 @@
+#include "lb/allocate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace nowlb::lb {
+
+std::vector<int> proportional_allocation(const std::vector<double>& rates,
+                                         int total) {
+  NOWLB_CHECK(!rates.empty());
+  NOWLB_CHECK(total >= 0);
+  const std::size_t n = rates.size();
+
+  double aggregate = 0;
+  for (double r : rates) aggregate += std::max(0.0, r);
+
+  std::vector<int> out(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+
+  if (aggregate <= 0) {
+    // No usable rate information: fall back to an even split.
+    const int base = total / static_cast<int>(n);
+    int extra = total % static_cast<int>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = base + (static_cast<int>(i) < extra ? 1 : 0);
+    return out;
+  }
+
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share =
+        std::max(0.0, rates[i]) / aggregate * static_cast<double>(total);
+    out[i] = static_cast<int>(std::floor(share));
+    assigned += out[i];
+    remainders[i] = {share - std::floor(share), i};
+  }
+  // Hand out the leftover units to the largest remainders; ties go to the
+  // lower index for determinism.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (int leftover = total - assigned; leftover > 0; --leftover) {
+    out[remainders[static_cast<std::size_t>(total - assigned - leftover)]
+            .second] += 1;
+  }
+  NOWLB_CHECK(std::accumulate(out.begin(), out.end(), 0) == total,
+              "allocation lost work units");
+  return out;
+}
+
+double projected_time(const std::vector<int>& work,
+                      const std::vector<double>& rates) {
+  NOWLB_CHECK(work.size() == rates.size());
+  double t = 0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (work[i] == 0) continue;
+    if (rates[i] <= 0) return std::numeric_limits<double>::infinity();
+    t = std::max(t, static_cast<double>(work[i]) / rates[i]);
+  }
+  return t;
+}
+
+}  // namespace nowlb::lb

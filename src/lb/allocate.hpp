@@ -1,0 +1,26 @@
+// Proportional work allocation (§3.2).
+//
+// Given filtered per-slave rates and the total remaining work, compute an
+// integer distribution proportional to each slave's contribution to the
+// aggregate rate: w_i = W * r_i / sum(r). Integerized by largest remainder
+// so that sum(w) == W exactly (work conservation).
+#pragma once
+
+#include <vector>
+
+namespace nowlb::lb {
+
+/// Largest-remainder proportional split of `total` units by `rates`.
+/// Slaves with rate <= 0 receive no work unless every rate is <= 0, in
+/// which case the split is even (no information — keep current behaviour
+/// sane rather than starving everyone).
+std::vector<int> proportional_allocation(const std::vector<double>& rates,
+                                         int total);
+
+/// Projected completion time of `work` at `rates` (max over slaves of
+/// work_i / rate_i); slaves with non-positive rate and positive work make
+/// the projection infinite.
+double projected_time(const std::vector<int>& work,
+                      const std::vector<double>& rates);
+
+}  // namespace nowlb::lb

@@ -1,0 +1,77 @@
+// Load balancer configuration.
+//
+// Defaults follow the paper: 10 % projected-improvement gate, pipelined
+// master interactions, period >= max(20 x interaction cost,
+// 0.1 x work-movement cost, 5 x scheduling quantum, 500 ms) — Fig. 4.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace nowlb::lb {
+
+using sim::Time;
+
+enum class Movement {
+  /// Work may move directly between any pair of slaves (Fig. 1a) —
+  /// applications without loop-carried dependences.
+  kUnrestricted,
+  /// Work moves only between logically adjacent slaves, preserving a block
+  /// distribution (Fig. 1b) — applications with loop-carried dependences.
+  kRestricted,
+};
+
+struct LbConfig {
+  /// Pipelined master interactions (Fig. 2b): instructions received at a
+  /// balancing point are based on the previous point's status. Synchronous
+  /// (Fig. 2a) puts the full master round-trip on the critical path.
+  bool pipelined = true;
+
+  Movement movement = Movement::kUnrestricted;
+
+  /// Minimum projected reduction in completion time to move work (§3.2).
+  double improvement_threshold = 0.10;
+
+  /// Floor on any slave's target assignment (work units). Pipelined
+  /// applications set this to 1: an empty rank would break the neighbour
+  /// ghost-exchange chain of the block distribution.
+  int min_units_per_slave = 0;
+
+  /// Enable the profitability determination phase: cancel movements whose
+  /// estimated cost exceeds the projected benefit (§3.2).
+  bool profitability_check = true;
+
+  /// Enable trend-adaptive filtering of rate reports; when false the raw
+  /// rate is used directly (ablation).
+  bool filtering = true;
+  /// Weight of new rate data when the trend is not established.
+  double filter_alpha = 0.3;
+  /// Weight of new rate data once `filter_trend_len` consecutive samples
+  /// moved in the same direction (rates really are changing).
+  double filter_fast_alpha = 0.75;
+  int filter_trend_len = 3;
+
+  // ---- load-balancing frequency selection (§4.3 / Fig. 4) ----
+  /// Hard floor on the balancing period.
+  Time min_period = 500 * sim::kMillisecond;
+  /// Period must be at least this many scheduling quanta.
+  double quanta_multiple = 5.0;
+  /// Period must be at least this multiple of the master interaction cost.
+  double interaction_multiple = 20.0;
+  /// Period must be at least this multiple of the cost of moving work.
+  double movement_multiple = 0.1;
+
+  /// Starting estimates, refined by measurement at run time. The movement
+  /// estimate starts optimistic: a pessimistic start would cancel every
+  /// early movement on profitability grounds and the real cost would never
+  /// be measured (it is only measured when work actually moves).
+  Time initial_interaction_cost = 2 * sim::kMillisecond;
+  Time initial_move_cost = 2 * sim::kMillisecond;
+
+  /// OS scheduling quantum of the slave hosts (compile/startup-time known).
+  Time quantum = 100 * sim::kMillisecond;
+
+  /// Record per-slave rate/assignment series into the world recorder.
+  bool trace = false;
+};
+
+}  // namespace nowlb::lb

@@ -1,0 +1,71 @@
+// Load-balancing frequency selection (§4.3, Fig. 4).
+//
+// The target period between balancings is the largest of three lower
+// bounds, so that (a) master interaction overhead stays negligible,
+// (b) the system does not try to track load changes faster than work can
+// usefully be moved, and (c) OS quantum context-switching effects average
+// out of the measurements. Costs are measured continuously at run time;
+// as work units shrink (LU) the rate rises and the same period maps to
+// more units, automatically reducing the relative balancing overhead
+// (§4.7).
+#pragma once
+
+#include <algorithm>
+
+#include "lb/config.hpp"
+#include "sim/time.hpp"
+
+namespace nowlb::lb {
+
+class FrequencyController {
+ public:
+  explicit FrequencyController(const LbConfig& cfg)
+      : cfg_(cfg),
+        interaction_cost_(cfg.initial_interaction_cost),
+        move_event_cost_(cfg.initial_move_cost) {}
+
+  /// Record a measured master-interaction cost (slave blocked time).
+  void observe_interaction(Time cost) {
+    interaction_cost_ = ewma(interaction_cost_, cost);
+  }
+
+  /// Record the measured cost of one work-movement event.
+  void observe_move_event(Time cost) {
+    move_event_cost_ = ewma(move_event_cost_, cost);
+  }
+
+  Time interaction_cost() const { return interaction_cost_; }
+  Time move_event_cost() const { return move_event_cost_; }
+
+  /// The target period between load balancings: the highest lower bound of
+  /// Fig. 4 — max(interaction x 20, movement x 0.1, quantum x 5, 500 ms).
+  Time period() const {
+    const auto scaled = [](double m, Time t) {
+      return static_cast<Time>(m * static_cast<double>(t));
+    };
+    Time p = cfg_.min_period;
+    p = std::max(p, scaled(cfg_.interaction_multiple, interaction_cost_));
+    p = std::max(p, scaled(cfg_.movement_multiple, move_event_cost_));
+    p = std::max(p, scaled(cfg_.quanta_multiple, cfg_.quantum));
+    return p;
+  }
+
+  /// Work units a slave with predicted `rate` (units/s) should complete
+  /// before its next balance round (at least one unit so hooks make
+  /// progress).
+  double units_for_period(double rate) const {
+    return std::max(1.0, rate * sim::to_seconds(period()));
+  }
+
+ private:
+  static Time ewma(Time old_value, Time sample) {
+    // 0.5 smoothing keeps estimates responsive but stable.
+    return (old_value + sample) / 2;
+  }
+
+  LbConfig cfg_;
+  Time interaction_cost_;
+  Time move_event_cost_;
+};
+
+}  // namespace nowlb::lb

@@ -1,0 +1,309 @@
+#include "lb/master.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "msg/channel.hpp"
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace nowlb::lb {
+
+using sim::Task;
+using sim::Time;
+using sim::to_seconds;
+
+Master::Master(sim::Context& ctx, MasterConfig cfg)
+    : ctx_(ctx),
+      cfg_(std::move(cfg)),
+      nslaves_(static_cast<int>(cfg_.slaves.size())),
+      freq_(cfg_.lb),
+      move_cost_per_unit_s_(to_seconds(cfg_.lb.initial_move_cost)),
+      stats_(cfg_.stats ? *cfg_.stats : local_stats_) {
+  NOWLB_CHECK(nslaves_ > 0, "master needs at least one slave");
+  NOWLB_CHECK(cfg_.initial_counts.size() == cfg_.slaves.size(),
+              "initial_counts size mismatch");
+  filters_.assign(nslaves_, TrendFilter(cfg_.lb.filter_alpha,
+                                        cfg_.lb.filter_fast_alpha,
+                                        cfg_.lb.filter_trend_len));
+  rates_.assign(nslaves_, 0.0);
+  raw_rates_.assign(nslaves_, 0.0);
+  measured_.assign(nslaves_, false);
+}
+
+int Master::rank_of(sim::Pid pid) const {
+  for (int r = 0; r < nslaves_; ++r) {
+    if (cfg_.slaves[r] == pid) return r;
+  }
+  NOWLB_CHECK(false, "report from unknown pid " << pid);
+  return -1;
+}
+
+double Master::initial_window_units(int rank) const {
+  return std::max(1.0, cfg_.first_window_fraction *
+                           static_cast<double>(cfg_.initial_counts[rank]));
+}
+
+Task<> Master::run() {
+  if (cfg_.termination == Termination::kDoneFlags) {
+    co_await run_done_flags();
+    co_return;
+  }
+  for (int phase = 0; phase < cfg_.phases; ++phase) {
+    co_await run_phase();
+  }
+}
+
+Task<> Master::run_phase() {
+  const std::vector<bool> all(nslaves_, true);
+
+  if (cfg_.lb.pipelined) {
+    // Prime the pipeline: the instructions consumed at each slave's first
+    // balance of this phase carry no movement (no rate data yet).
+    ++round_;
+    for (int r = 0; r < nslaves_; ++r) {
+      Instructions ins;
+      ins.round = round_;
+      ins.units_until_next = rates_[r] > 0
+                                 ? freq_.units_for_period(rates_[r])
+                                 : initial_window_units(r);
+      co_await msg::send(ctx_, cfg_.slaves[r], kTagInstr, ins);
+    }
+  }
+
+  for (;;) {
+    const int report_round = cfg_.lb.pipelined ? round_ : round_ + 1;
+    if (!cfg_.lb.pipelined) ++round_;
+    auto reports = co_await collect_reports(report_round, all);
+    ++stats_.rounds;
+    process_measurements(reports, all);
+
+    std::vector<int> remaining(nslaves_);
+    for (int r = 0; r < nslaves_; ++r) remaining[r] = reports[r].remaining;
+    const int total = std::accumulate(remaining.begin(), remaining.end(), 0);
+
+    if (total == 0) {
+      // Phase complete. Pipelined: the phase_done message is labelled for
+      // the next round (slaves do one final balance); synchronous: for this
+      // round (slaves are waiting for it now).
+      if (cfg_.lb.pipelined) ++round_;
+      Decision none;
+      none.target = remaining;
+      co_await send_instructions(round_, /*phase_done=*/true, none, rates_,
+                                 all);
+      if (cfg_.lb.pipelined) {
+        // Consume the final reports so rounds stay aligned across phases.
+        auto finals = co_await collect_reports(round_, all);
+        process_measurements(finals, all);
+        ++stats_.rounds;
+      }
+      co_return;
+    }
+
+    const Decision d = make_decision(remaining);
+    if (cfg_.lb.pipelined) ++round_;
+    co_await send_instructions(round_, /*phase_done=*/false, d, rates_, all);
+  }
+}
+
+Task<> Master::run_done_flags() {
+  // Reply-style rounds: instructions answer the current round's reports.
+  // Slaves poll for them (LbConfig.pipelined should be true), so the reply
+  // latency stays off their critical path while the data stays fresh.
+  std::vector<bool> active(nslaves_, true);
+  int n_active = nslaves_;
+
+  while (n_active > 0) {
+    ++round_;
+    auto reports = co_await collect_reports(round_, active);
+    ++stats_.rounds;
+    process_measurements(reports, active);
+
+    std::vector<int> remaining(nslaves_, 0);
+    for (int r = 0; r < nslaves_; ++r) {
+      if (!active[r]) continue;
+      remaining[r] = reports[r].remaining;
+      if (reports[r].done) {
+        active[r] = false;
+        --n_active;
+        rates_[r] = 0;  // no longer a movement target
+        NOWLB_CHECK(reports[r].remaining == 0,
+                    "rank " << r << " finished with work remaining");
+      }
+    }
+    if (n_active == 0) co_return;
+
+    const Decision d = make_decision(remaining);
+    co_await send_instructions(round_, /*phase_done=*/false, d, rates_,
+                               active);
+  }
+}
+
+Decision Master::make_decision(const std::vector<int>& remaining) {
+  Decision d = decide(cfg_.lb, remaining, rates_, move_cost_per_unit_s_,
+                      to_seconds(freq_.period()));
+  if (d.move) {
+    ++stats_.moves_ordered;
+    stats_.units_moved += units_moved(d.transfers);
+  } else if (std::string_view(d.reason) == "below improvement threshold") {
+    ++stats_.cancelled_threshold;
+  } else if (std::string_view(d.reason) == "movement not profitable") {
+    ++stats_.cancelled_profit;
+  }
+  stats_.last_period_s = to_seconds(freq_.period());
+
+  if (cfg_.lb.trace) {
+    auto& rec = ctx_.recorder();
+    const Time now = ctx_.now();
+    for (int r = 0; r < nslaves_; ++r) {
+      const std::string suffix = "." + std::to_string(r);
+      rec.record("lb.raw_rate" + suffix, now, raw_rates_[r]);
+      rec.record("lb.adj_rate" + suffix, now, rates_[r]);
+      rec.record("lb.work" + suffix, now, static_cast<double>(d.target[r]));
+    }
+    rec.record("lb.period_s", now, stats_.last_period_s);
+  }
+  return d;
+}
+
+Task<std::vector<StatusReport>> Master::collect_reports(
+    int round, const std::vector<bool>& expected) {
+  std::vector<StatusReport> reports(nslaves_);
+  std::vector<bool> seen(nslaves_, false);
+  int want = 0;
+  for (int r = 0; r < nslaves_; ++r) want += expected[r] ? 1 : 0;
+  int have = 0;
+
+  // First take any reports stashed by the previous collection (an idle
+  // slave may run one round ahead of slower slaves).
+  std::vector<std::pair<sim::Pid, StatusReport>> still_early;
+  for (auto& [src, rep] : stashed_) {
+    if (rep.round == round) {
+      const int rank = rank_of(src);
+      NOWLB_CHECK(!seen[rank], "duplicate stashed report from rank " << rank);
+      NOWLB_CHECK(expected[rank], "stashed report from unexpected rank "
+                                      << rank);
+      seen[rank] = true;
+      reports[rank] = rep;
+      ++have;
+    } else {
+      still_early.emplace_back(src, rep);
+    }
+  }
+  stashed_ = std::move(still_early);
+
+  while (have < want) {
+    auto [src, rep] =
+        co_await msg::recv_from_any<StatusReport>(ctx_, kTagReport);
+    const int rank = rank_of(src);
+    NOWLB_CHECK(expected[rank], "report from unexpected rank " << rank);
+    if (rep.round == round + 1) {
+      stashed_.emplace_back(src, rep);
+      continue;
+    }
+    NOWLB_CHECK(rep.round == round, "rank " << rank << " reported round "
+                                            << rep.round << ", expected "
+                                            << round);
+    NOWLB_CHECK(!seen[rank], "duplicate report from rank " << rank);
+    seen[rank] = true;
+    reports[rank] = rep;
+    ++have;
+  }
+  co_return reports;
+}
+
+void Master::process_measurements(const std::vector<StatusReport>& reports,
+                                  const std::vector<bool>& mask) {
+  // Interaction cost: the *least*-blocked slave reflects the pure cost of
+  // exchanging information with the master; larger values are round skew
+  // (waiting for stragglers), which is load imbalance, not overhead.
+  Time min_blocked = std::numeric_limits<Time>::max();
+  for (int r = 0; r < nslaves_; ++r) {
+    if (!mask[r]) continue;
+    const auto& rep = reports[r];
+    // Rate update. Windows that measured nothing (an idle slave spinning
+    // balance rounds, or a degenerate sub-millisecond window) carry no
+    // information about the slave's capacity — keep the previous estimate.
+    const bool informative =
+        rep.elapsed_s > 1e-4 && !(rep.units_done == 0 && rep.remaining == 0);
+    if (informative) {
+      raw_rates_[r] = rep.units_done / rep.elapsed_s;
+      rates_[r] = cfg_.lb.filtering ? filters_[r].update(raw_rates_[r])
+                                    : raw_rates_[r];
+      measured_[r] = true;
+    }
+    if (rep.lb_blocked_s > 0) {
+      min_blocked =
+          std::min(min_blocked, sim::from_seconds(rep.lb_blocked_s));
+    }
+    if (rep.moved_units > 0) {
+      const double per_unit = rep.move_time_s / rep.moved_units;
+      move_cost_per_unit_s_ = 0.5 * (move_cost_per_unit_s_ + per_unit);
+      freq_.observe_move_event(sim::from_seconds(rep.move_time_s));
+    }
+  }
+  if (min_blocked != std::numeric_limits<Time>::max()) {
+    freq_.observe_interaction(min_blocked);
+  }
+
+  // An idle slave's window measures nothing about its capacity, yet its
+  // stale (possibly noisy-low) estimate decides whether it gets work again
+  // — a starvation lock-in. Let unmeasured or idle slaves' estimates drift
+  // toward the mean of the measured ones (never downward: idleness is no
+  // evidence of slowness).
+  double sum = 0;
+  int cnt = 0;
+  for (int r = 0; r < nslaves_; ++r) {
+    if (mask[r] && measured_[r] && rates_[r] > 0) {
+      sum += rates_[r];
+      ++cnt;
+    }
+  }
+  if (cnt > 0) {
+    const double prior = sum / cnt;
+    for (int r = 0; r < nslaves_; ++r) {
+      if (!mask[r]) continue;
+      if (!measured_[r]) {
+        rates_[r] = prior;
+        filters_[r].force(prior);
+      } else if (reports[r].units_done == 0 && reports[r].remaining == 0 &&
+                 rates_[r] < prior) {
+        rates_[r] += 0.3 * (prior - rates_[r]);
+        filters_[r].force(rates_[r]);
+      }
+    }
+  }
+}
+
+Task<> Master::send_instructions(int round, bool phase_done,
+                                 const Decision& decision,
+                                 const std::vector<double>& rates,
+                                 const std::vector<bool>& recipients) {
+  // Group transfers into per-rank send/receive orders.
+  std::vector<std::vector<MoveOrder>> orders(nslaves_);
+  for (const Transfer& t : decision.transfers) {
+    orders[t.from_rank].push_back(
+        {t.to_rank, t.count, /*is_send=*/std::uint8_t{1}});
+    orders[t.to_rank].push_back(
+        {t.from_rank, t.count, /*is_send=*/std::uint8_t{0}});
+  }
+  for (int r = 0; r < nslaves_; ++r) {
+    if (!recipients[r]) {
+      NOWLB_CHECK(orders[r].empty(),
+                  "movement ordered for inactive rank " << r);
+      continue;
+    }
+    Instructions ins;
+    ins.round = round;
+    ins.phase_done = phase_done ? 1 : 0;
+    ins.units_until_next = rates[r] > 0 ? freq_.units_for_period(rates[r])
+                                        : initial_window_units(r);
+    ins.orders = std::move(orders[r]);
+    co_await msg::send(ctx_, cfg_.slaves[r], kTagInstr, ins);
+  }
+}
+
+}  // namespace nowlb::lb

@@ -1,0 +1,110 @@
+// The central load balancer (the "master", §3.1-3.3).
+//
+// Runs as its own simulated process. Each round it collects one status
+// report per slave, filters the measured rates, computes a proportional
+// redistribution, gates it by the improvement threshold and profitability,
+// plans transfers (direct or adjacent-only), selects the next balancing
+// period, and sends per-slave instructions. In pipelined mode instructions
+// are issued one round ahead so slave blocking time is just the local
+// send/receive cost.
+//
+// The master's control loop mirrors the slaves' phase structure (§4.1):
+// MasterConfig.phases is the number of distributed-loop invocations the
+// generated program performs, so master and slaves execute the same number
+// of balancing phases and terminate together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lb/config.hpp"
+#include "lb/filter.hpp"
+#include "lb/frequency.hpp"
+#include "lb/plan.hpp"
+#include "lb/protocol.hpp"
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+
+namespace nowlb::lb {
+
+/// Aggregate counters, readable after the run for experiments/tests.
+struct MasterStats {
+  int rounds = 0;
+  int moves_ordered = 0;        // rounds where movement was ordered
+  int units_moved = 0;          // total units in ordered transfers
+  int cancelled_threshold = 0;  // rounds gated by the 10 % threshold
+  int cancelled_profit = 0;     // rounds cancelled by profitability
+  double last_period_s = 0;
+};
+
+/// How the run ends.
+enum class Termination {
+  /// The master mirrors the generated program's loop structure: it runs
+  /// `phases` distributed-loop invocations, detecting the end of each from
+  /// all-zero remaining reports (MM repeats, SOR sweeps).
+  kPhases,
+  /// Free-running: slaves balance purely on hook counters (invocations
+  /// synchronize among themselves, e.g. LU's pivot broadcast) and send a
+  /// final done-flagged report when their whole computation ends. In this
+  /// mode the master replies to each round's reports directly (slaves poll,
+  /// so the reply is still off the critical path).
+  kDoneFlags,
+};
+
+struct MasterConfig {
+  std::vector<sim::Pid> slaves;     // slave pids in rank order
+  std::vector<int> initial_counts;  // initial work distribution per rank
+  int phases = 1;                   // distributed-loop invocations
+  Termination termination = Termination::kPhases;
+  LbConfig lb;
+  /// Fraction of the initial assignment to complete before the first
+  /// balance of each phase (no rate information exists yet). Small, so
+  /// rate information is established early in a phase.
+  double first_window_fraction = 0.05;
+  std::shared_ptr<MasterStats> stats;  // optional
+};
+
+class Master {
+ public:
+  Master(sim::Context& ctx, MasterConfig cfg);
+
+  /// The master process body: run all phases to completion.
+  sim::Task<> run();
+
+ private:
+  sim::Task<> run_phase();
+  sim::Task<> run_done_flags();
+  /// Collect one report from every rank with expected[rank] set.
+  sim::Task<std::vector<StatusReport>> collect_reports(
+      int round, const std::vector<bool>& expected);
+  sim::Task<> send_instructions(int round, bool phase_done,
+                                const Decision& decision,
+                                const std::vector<double>& rates,
+                                const std::vector<bool>& recipients);
+  void process_measurements(const std::vector<StatusReport>& reports,
+                            const std::vector<bool>& mask);
+  /// Gate + plan movement for the current remaining distribution, updating
+  /// stats and the trace.
+  Decision make_decision(const std::vector<int>& remaining);
+  double initial_window_units(int rank) const;
+  int rank_of(sim::Pid pid) const;
+
+  sim::Context& ctx_;
+  MasterConfig cfg_;
+  /// Reports that arrived one round early (an idle slave can start round
+  /// r+1 while slower slaves are still in round r); keyed implicitly by
+  /// arrival order, bounded by one per slave.
+  std::vector<std::pair<sim::Pid, StatusReport>> stashed_;
+  int nslaves_;
+  int round_ = 0;
+  std::vector<TrendFilter> filters_;
+  std::vector<double> rates_;      // filtered rate per rank (units/s)
+  std::vector<double> raw_rates_;  // last raw rate per rank
+  std::vector<bool> measured_;     // rank has produced an informative window
+  FrequencyController freq_;
+  double move_cost_per_unit_s_;
+  MasterStats local_stats_;
+  MasterStats& stats_;
+};
+
+}  // namespace nowlb::lb

@@ -1,0 +1,111 @@
+// Master <-> slave wire protocol (§3.2, §3.3).
+//
+// Each balancing round, every slave sends one StatusReport and receives one
+// Instructions message. In pipelined mode (Fig. 2b) the instructions a slave
+// receives at round r were computed from round r-1's reports; in synchronous
+// mode (Fig. 2a) from round r's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "msg/serialize.hpp"
+#include "sim/message.hpp"
+
+namespace nowlb::lb {
+
+// Message tags used by the load-balancing runtime.
+inline constexpr sim::Tag kTagReport = 9001;  // slave -> master status
+inline constexpr sim::Tag kTagInstr = 9002;   // master -> slave instructions
+inline constexpr sim::Tag kTagMove = 9003;    // slave -> slave work movement
+
+/// Slave performance since the last information exchange, measured in the
+/// application-specific unit of "work units per second" — iterations of the
+/// distributed loop — so heterogeneous or loaded processors need no
+/// explicit weighting (§3.2).
+struct StatusReport {
+  std::int32_t round = 0;
+  /// Work units completed since the previous report.
+  double units_done = 0;
+  /// Wall-clock seconds since the previous report (the whole window,
+  /// including communication — competing load shows up here).
+  double elapsed_s = 0;
+  /// Active work units still held locally.
+  std::int32_t remaining = 0;
+  /// Seconds spent blocked in the previous balance round (interaction cost).
+  double lb_blocked_s = 0;
+  /// Seconds spent packing/sending/receiving/unpacking moved work since the
+  /// previous report, and the units involved (movement cost measurement).
+  double move_time_s = 0;
+  std::int32_t moved_units = 0;
+  /// Final report: this slave has finished its whole computation and will
+  /// not participate in further rounds (done-flag termination mode).
+  std::uint8_t done = 0;
+
+  void encode(msg::Writer& w) const {
+    w.put(round).put(units_done).put(elapsed_s).put(remaining)
+        .put(lb_blocked_s).put(move_time_s).put(moved_units).put(done);
+  }
+  static StatusReport decode(msg::Reader& r) {
+    StatusReport s;
+    s.round = r.get<std::int32_t>();
+    s.units_done = r.get<double>();
+    s.elapsed_s = r.get<double>();
+    s.remaining = r.get<std::int32_t>();
+    s.lb_blocked_s = r.get<double>();
+    s.move_time_s = r.get<double>();
+    s.moved_units = r.get<std::int32_t>();
+    s.done = r.get<std::uint8_t>();
+    return s;
+  }
+};
+
+/// One work transfer order: this slave sends `count` units to `peer_rank`,
+/// or expects up to `count` units from it. Counts are targets computed from
+/// (possibly one round old) reports; the sender ships min(count, on hand)
+/// and always ships a message so the receiver's blocking receive completes.
+struct MoveOrder {
+  std::int32_t peer_rank = 0;
+  std::int32_t count = 0;
+  std::uint8_t is_send = 0;
+
+  void encode(msg::Writer& w) const { w.put(peer_rank).put(count).put(is_send); }
+  static MoveOrder decode(msg::Reader& r) {
+    MoveOrder m;
+    m.peer_rank = r.get<std::int32_t>();
+    m.count = r.get<std::int32_t>();
+    m.is_send = r.get<std::uint8_t>();
+    return m;
+  }
+};
+
+/// Master instructions for one slave for one round.
+struct Instructions {
+  std::int32_t round = 0;
+  /// The current distributed-loop invocation has completed globally.
+  std::uint8_t phase_done = 0;
+  /// Work units to complete before the next balance round (frequency
+  /// control, §4.3 — converted from the target period via this slave's
+  /// predicted rate).
+  double units_until_next = 0;
+  std::vector<MoveOrder> orders;
+
+  void encode(msg::Writer& w) const {
+    w.put(round).put(phase_done).put(units_until_next);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(orders.size()));
+    for (const auto& o : orders) o.encode(w);
+  }
+  static Instructions decode(msg::Reader& r) {
+    Instructions ins;
+    ins.round = r.get<std::int32_t>();
+    ins.phase_done = r.get<std::uint8_t>();
+    ins.units_until_next = r.get<double>();
+    const auto n = r.get<std::uint32_t>();
+    ins.orders.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      ins.orders.push_back(MoveOrder::decode(r));
+    return ins;
+  }
+};
+
+}  // namespace nowlb::lb

@@ -1,0 +1,325 @@
+#include "lb/slave.hpp"
+
+#include <algorithm>
+
+#include "msg/channel.hpp"
+#include "sim/world.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace nowlb::lb {
+
+using sim::Task;
+using sim::Time;
+using sim::to_seconds;
+
+SlaveAgent::SlaveAgent(sim::Context& ctx, sim::Pid master, int rank,
+                       std::vector<sim::Pid> slave_pids, const LbConfig& lb,
+                       WorkOps ops, double first_window_units)
+    : ctx_(ctx),
+      master_(master),
+      rank_(rank),
+      slave_pids_(std::move(slave_pids)),
+      lb_(lb),
+      ops_(std::move(ops)),
+      until_next_(std::max(1.0, first_window_units)) {
+  NOWLB_CHECK(ops_.remaining && ops_.pack && ops_.unpack,
+              "WorkOps must be fully populated");
+}
+
+void SlaveAgent::begin_phase() {
+  phase_done_ = false;
+  units_since_ = 0;
+  app_blocked_accum_ = 0;
+  window_start_ = ctx_.now();
+}
+
+Task<> SlaveAgent::send_report() {
+  NOWLB_CHECK(!awaiting_instr_, "report already outstanding");
+  ++round_;
+  const Time t0 = ctx_.now();
+  StatusReport rep;
+  rep.round = round_;
+  rep.units_done = units_since_;
+  rep.elapsed_s = to_seconds(
+      std::max<Time>(0, t0 - window_start_ - app_blocked_accum_));
+  const Time window_blocked = app_blocked_accum_;
+  (void)window_blocked;
+  app_blocked_accum_ = 0;
+  // Count queued incoming transfers (at their ordered size) so in-flight
+  // units are never under-counted: the reported total can only overstate,
+  // so the master can never end a phase while work is still moving.
+  // Blocking here to take actual delivery would put the donor's round lag
+  // on this slave's critical path.
+  rep.remaining = ops_.remaining() + pending_units();
+  rep.lb_blocked_s = to_seconds(last_overhead_);
+  rep.move_time_s = to_seconds(move_time_accum_);
+  rep.moved_units = moved_units_accum_;
+  rep.done = final_ ? 1 : 0;
+  move_time_accum_ = 0;
+  moved_units_accum_ = 0;
+  NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " report r" << round_
+                         << " units=" << rep.units_done << " elapsed="
+                         << rep.elapsed_s << " blocked="
+                         << to_seconds(window_blocked) << " remaining="
+                         << rep.remaining;
+  co_await msg::send(ctx_, master_, kTagReport, rep);
+
+  awaiting_instr_ = true;
+  units_since_ = 0;
+  window_start_ = ctx_.now();
+  overhead_accum_ = ctx_.now() - t0;  // send cost; instr handling adds later
+
+  if (prepaid_round_ == round_) {
+    // The matching (pre-sent) instructions were already applied by a
+    // wildcard receive; this round is complete.
+    prepaid_round_ = 0;
+    awaiting_instr_ = false;
+  }
+}
+
+Task<> SlaveAgent::handle_instr(const Instructions& ins) {
+  NOWLB_CHECK(awaiting_instr_, "instructions with no outstanding report");
+  NOWLB_CHECK(ins.round == round_, "slave rank " << rank_ << " got round "
+                                                 << ins.round << ", expected "
+                                                 << round_);
+  awaiting_instr_ = false;
+  co_await apply_instr_body(ins);
+}
+
+Task<> SlaveAgent::apply_instr_body(const Instructions& ins) {
+  if (!ins.orders.empty()) {
+    co_await apply_moves(ins.orders);
+  }
+  phase_done_ = ins.phase_done != 0;
+  until_next_ = ins.units_until_next;
+  last_overhead_ = overhead_accum_;
+}
+
+Task<> SlaveAgent::hook() {
+  // Opportunistically integrate moved work that has already arrived.
+  if (!pending_recvs_.empty()) co_await poll_pending();
+
+  if (awaiting_instr_) {
+    if (lb_.pipelined) {
+      // Pipelined: poll; keep computing if instructions haven't arrived.
+      if (auto m = ctx_.try_recv(kTagInstr, master_)) {
+        const Time t0 = ctx_.now();
+        co_await ctx_.compute(ctx_.world().config().msg.recv_overhead);
+        overhead_accum_ += ctx_.now() - t0;
+        co_await handle_instr(msg::decode<Instructions>(m->payload));
+      }
+    } else {
+      // Synchronous: the full master round trip is on the critical path.
+      const Time t0 = ctx_.now();
+      Instructions ins =
+          co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+      overhead_accum_ += ctx_.now() - t0;
+      co_await handle_instr(ins);
+    }
+  }
+  if (!awaiting_instr_ && balance_due()) {
+    co_await send_report();
+    if (!lb_.pipelined) {
+      const Time t0 = ctx_.now();
+      Instructions ins =
+          co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+      overhead_accum_ += ctx_.now() - t0;
+      co_await handle_instr(ins);
+    }
+  }
+}
+
+Task<> SlaveAgent::drain() {
+  // Out of local work. Incoming transfers are the most likely source of
+  // more; block on those first.
+  if (!pending_recvs_.empty()) {
+    co_await recv_one_pending();
+    co_return;
+  }
+  if (!awaiting_instr_) {
+    co_await send_report();
+    // send_report may have consumed a held early instruction already.
+    if (!awaiting_instr_) co_return;
+  }
+  // The wait here is idleness caused by imbalance, not interaction
+  // overhead or computation — excluded from both measurements.
+  const Time w0 = ctx_.now();
+  Instructions ins =
+      co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+  app_blocked_accum_ += ctx_.now() - w0;
+  co_await handle_instr(ins);
+}
+
+Task<> SlaveAgent::finalize() {
+  // Settle the outstanding instruction: in done-flag mode the master
+  // answers every non-final report, and its orders may have peers blocked
+  // on transfers from us.
+  if (awaiting_instr_) {
+    Instructions ins =
+        co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+    co_await handle_instr(ins);
+  }
+  co_await drain_pending();
+  NOWLB_CHECK(prepaid_round_ == 0, "pre-paid round pending at finalize");
+  NOWLB_CHECK(ops_.remaining() == 0,
+              "finalize with " << ops_.remaining() << " active units");
+  final_ = true;
+  co_await send_report();
+  awaiting_instr_ = false;  // the master never answers a final report
+}
+
+Task<> SlaveAgent::integrate_move(const MoveOrder& order, sim::Message m) {
+  const Time t0 = ctx_.now();
+  co_await ctx_.compute(ctx_.world().config().msg.recv_overhead);
+  const int actual = co_await ops_.unpack(m.payload, order.peer_rank);
+  moved_units_accum_ += actual;
+  units_received_ += actual;
+  move_time_accum_ += ctx_.now() - t0;
+  NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " received " << actual
+                         << " units from rank " << order.peer_rank;
+}
+
+std::optional<sim::Message> SlaveAgent::take_stashed(sim::Pid src) {
+  for (std::size_t i = 0; i < stashed_moves_.size(); ++i) {
+    if (stashed_moves_[i].src == src) {
+      sim::Message m = std::move(stashed_moves_[i]);
+      stashed_moves_.erase(stashed_moves_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SlaveAgent::first_for_peer(std::size_t index) const {
+  for (std::size_t j = 0; j < index; ++j) {
+    if (pending_recvs_[j].peer_rank == pending_recvs_[index].peer_rank) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Task<> SlaveAgent::accept_move(sim::Message m) {
+  NOWLB_CHECK(m.tag == kTagMove, "accept_move on tag " << m.tag);
+  for (std::size_t i = 0; i < pending_recvs_.size(); ++i) {
+    if (pid_of(pending_recvs_[i].peer_rank) == m.src && first_for_peer(i)) {
+      const MoveOrder o = pending_recvs_[i];
+      pending_recvs_.erase(pending_recvs_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      co_await integrate_move(o, std::move(m));
+      co_return;
+    }
+  }
+  // Order not yet known (our instructions are still in flight); hold the
+  // message until they arrive.
+  stashed_moves_.push_back(std::move(m));
+}
+
+Task<> SlaveAgent::accept_runtime(sim::Message m) {
+  if (m.tag == kTagMove) {
+    co_await accept_move(std::move(m));
+    co_return;
+  }
+  NOWLB_CHECK(m.tag == kTagInstr, "accept_runtime on tag " << m.tag);
+  Instructions ins = msg::decode<Instructions>(m.payload);
+  if (!awaiting_instr_) {
+    // A pipelined master pre-sends instructions; a wildcard receive can
+    // pick one up before the matching report went out. Apply it now — its
+    // orders may be exactly what unblocks this slave (and peers waiting on
+    // our transfers) — and let the upcoming report complete the round.
+    NOWLB_CHECK(ins.round == round_ + 1,
+                "early instructions for round " << ins.round << ", at round "
+                                                << round_);
+    NOWLB_CHECK(!ins.phase_done, "pre-sent instructions cannot end a phase");
+    NOWLB_CHECK(prepaid_round_ == 0, "two pre-paid instruction rounds");
+    prepaid_round_ = ins.round;
+    co_await apply_instr_body(ins);
+    co_return;
+  }
+  co_await handle_instr(ins);
+}
+
+Task<> SlaveAgent::recv_one_pending() {
+  NOWLB_CHECK(!pending_recvs_.empty());
+  const MoveOrder o = pending_recvs_.front();
+  pending_recvs_.erase(pending_recvs_.begin());
+  if (auto stashed = take_stashed(pid_of(o.peer_rank))) {
+    co_await integrate_move(o, std::move(*stashed));
+    co_return;
+  }
+  // recv_raw completes at message arrival; the wait until then is round
+  // skew / sender lag — neither movement cost nor compute time, so it is
+  // excluded from both the move-cost measurement and the rate window.
+  const Time w0 = ctx_.now();
+  sim::Message m = co_await ctx_.recv_raw(kTagMove, pid_of(o.peer_rank));
+  app_blocked_accum_ += ctx_.now() - w0;
+  co_await integrate_move(o, std::move(m));
+}
+
+Task<> SlaveAgent::drain_pending() {
+  while (!pending_recvs_.empty()) co_await recv_one_pending();
+}
+
+Task<> SlaveAgent::poll_pending() {
+  // Integrate queued transfers whose messages have arrived. Per-peer FIFO
+  // order is preserved: we only attempt the first queued order of each
+  // peer per poll (earlier messages match earlier orders).
+  std::size_t i = 0;
+  while (i < pending_recvs_.size()) {
+    if (!first_for_peer(i)) {
+      ++i;
+      continue;
+    }
+    const MoveOrder o = pending_recvs_[i];
+    auto m = take_stashed(pid_of(o.peer_rank));
+    if (!m) m = ctx_.try_recv(kTagMove, pid_of(o.peer_rank));
+    if (!m) {
+      ++i;
+      continue;
+    }
+    pending_recvs_.erase(pending_recvs_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    co_await integrate_move(o, std::move(*m));
+    // Restart the scan: the erase may have made another order for the
+    // same peer the first one.
+    i = 0;
+  }
+}
+
+Task<> SlaveAgent::apply_moves(const std::vector<MoveOrder>& orders) {
+  int send_total = 0;
+  for (const auto& o : orders) {
+    if (o.is_send) {
+      send_total += o.count;
+    } else {
+      pending_recvs_.push_back(o);
+    }
+  }
+  if (send_total > 0) {
+    // If this rank cannot cover its ordered sends from what it holds, it is
+    // an intermediate in a restricted-mode chain (Fig. 1b): take delivery
+    // of the incoming side first, then forward.
+    if (send_total > ops_.remaining() && !pending_recvs_.empty()) {
+      co_await drain_pending();
+    }
+    for (const auto& o : orders) {
+      if (!o.is_send) continue;
+      const Time t0 = ctx_.now();
+      const int want = std::min(o.count, ops_.remaining());
+      auto [payload, actual] = co_await ops_.pack(want, o.peer_rank);
+      NOWLB_CHECK(actual <= o.count);
+      moved_units_accum_ += actual;
+      units_sent_ += actual;
+      NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " sends " << actual
+                             << " units to rank " << o.peer_rank;
+      co_await ctx_.send(pid_of(o.peer_rank), kTagMove, std::move(payload));
+      move_time_accum_ += ctx_.now() - t0;
+    }
+  }
+  // Pick up whatever incoming transfers have already arrived.
+  co_await poll_pending();
+}
+
+}  // namespace nowlb::lb

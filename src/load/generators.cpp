@@ -1,0 +1,76 @@
+#include "load/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nowlb::load {
+
+using sim::Context;
+using sim::ProcessBody;
+using sim::Task;
+using sim::Time;
+
+namespace {
+constexpr Time kBurstChunk = 100 * sim::kMillisecond;
+}  // namespace
+
+ProcessBody constant() {
+  return [](Context& ctx) -> Task<> {
+    for (;;) co_await ctx.compute(sim::kSecond);
+  };
+}
+
+ProcessBody oscillating(Time period, Time duration, Time initial_delay) {
+  NOWLB_CHECK(duration > 0 && duration < period);
+  return [=](Context& ctx) -> Task<> {
+    co_await ctx.sleep(initial_delay);
+    for (;;) {
+      // Busy phase: request CPU in chunks so the wall-clock "on" window is
+      // tracked even when sharing the CPU stretches each chunk.
+      const Time busy_until = ctx.now() + duration;
+      while (ctx.now() < busy_until) {
+        co_await ctx.compute(std::min(kBurstChunk, busy_until - ctx.now()));
+      }
+      const Time idle = period - duration;
+      co_await ctx.sleep(idle);
+    }
+  };
+}
+
+ProcessBody ramp(Time ramp_time) {
+  NOWLB_CHECK(ramp_time > 0);
+  return [=](Context& ctx) -> Task<> {
+    const Time start = ctx.now();
+    for (;;) {
+      const Time elapsed = ctx.now() - start;
+      const double share =
+          std::min(1.0, static_cast<double>(elapsed) /
+                            static_cast<double>(ramp_time));
+      const Time on = static_cast<Time>(share * kBurstChunk);
+      const Time off = kBurstChunk - on;
+      if (on > 0) co_await ctx.compute(on);
+      if (off > 0) co_await ctx.sleep(off);
+    }
+  };
+}
+
+ProcessBody random_bursts(Time min_on, Time max_on, Time min_off,
+                          Time max_off) {
+  NOWLB_CHECK(min_on <= max_on && min_off <= max_off);
+  return [=](Context& ctx) -> Task<> {
+    for (;;) {
+      const Time on = min_on + static_cast<Time>(ctx.rng().next_double() *
+                                                 (max_on - min_on));
+      const Time off = min_off + static_cast<Time>(ctx.rng().next_double() *
+                                                   (max_off - min_off));
+      const Time busy_until = ctx.now() + on;
+      while (ctx.now() < busy_until) {
+        co_await ctx.compute(std::min(kBurstChunk, busy_until - ctx.now()));
+      }
+      co_await ctx.sleep(off);
+    }
+  };
+}
+
+}  // namespace nowlb::load

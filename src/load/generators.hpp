@@ -1,0 +1,32 @@
+// Competing-load generators: the "other users" of a non-dedicated
+// workstation network (§5).
+//
+// Each generator is a process body spawned (non-essential) on a slave's
+// host; it steals CPU quanta from the slave through the host scheduler,
+// exactly like a competing UNIX task. The paper evaluates a constant
+// competing load (Figs. 7-8) and an oscillating one with a 20 s period and
+// 10 s duration (Fig. 9).
+#pragma once
+
+#include "sim/world.hpp"
+
+namespace nowlb::load {
+
+/// CPU-bound forever: halves the slave's effective rate.
+sim::ProcessBody constant();
+
+/// On for `duration`, off for `period - duration`, repeating.
+/// Fig. 9 uses period = 20 s, duration = 10 s.
+sim::ProcessBody oscillating(sim::Time period, sim::Time duration,
+                             sim::Time initial_delay = 0);
+
+/// CPU share ramps linearly from 0 to 100 % over `ramp_time`, then stays.
+/// Modelled as duty-cycled 100 ms bursts.
+sim::ProcessBody ramp(sim::Time ramp_time);
+
+/// Random on/off bursts: on for U(min_on, max_on), off for
+/// U(min_off, max_off) — background users coming and going.
+sim::ProcessBody random_bursts(sim::Time min_on, sim::Time max_on,
+                               sim::Time min_off, sim::Time max_off);
+
+}  // namespace nowlb::load

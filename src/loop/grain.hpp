@@ -1,0 +1,48 @@
+// Grain-size control by strip mining (§4.4).
+//
+// Pipelined loops communicate per iteration of the pipelined (inner) loop;
+// when iterations are smaller than the OS scheduling quantum, execution
+// times between synchronization points become erratic under
+// multiprogramming and communication overhead dominates. The compiler
+// strip-mines the inner loop; the block size is chosen *at startup* from a
+// measurement of actual iteration times so that one block takes
+// ~1.5 x quantum (150 ms on the paper's system).
+#pragma once
+
+#include <algorithm>
+
+#include "sim/context.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace nowlb::loop {
+
+/// Block size (iterations) so one block costs ~`target`; at least 1, at
+/// most `extent`.
+int block_size_for(sim::Time target, sim::Time per_iteration, int extent);
+
+/// Paper's target: 1.5 x the scheduling quantum.
+sim::Time grain_target(sim::Time quantum);
+
+/// Startup calibration: run `measure_iters` iterations of the inner loop
+/// via `one_iteration` (a coroutine that performs/charges one iteration),
+/// time them, and derive the block size for `extent` total iterations.
+/// Mirrors "the number of loop iterations in a block is set automatically
+/// at startup time based on measurements".
+template <typename OneIteration>
+sim::Task<int> calibrate_block_size(sim::Context& ctx, sim::Time quantum,
+                                    int extent, int measure_iters,
+                                    OneIteration one_iteration) {
+  const sim::Time t0 = ctx.now();
+  int done = 0;
+  for (int i = 0; i < measure_iters && i < extent; ++i) {
+    co_await one_iteration(i);
+    ++done;
+  }
+  const sim::Time elapsed = ctx.now() - t0;
+  const sim::Time per_iter =
+      done > 0 ? std::max<sim::Time>(1, elapsed / done) : 1;
+  co_return block_size_for(grain_target(quantum), per_iter, extent);
+}
+
+}  // namespace nowlb::loop

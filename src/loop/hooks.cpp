@@ -1,0 +1,22 @@
+#include "loop/hooks.hpp"
+
+#include "util/check.hpp"
+
+namespace nowlb::loop {
+
+int place_hook(const std::vector<HookLevel>& levels, sim::Time hook_overhead,
+               double max_fraction) {
+  NOWLB_CHECK(!levels.empty());
+  NOWLB_CHECK(hook_overhead >= 0);
+  for (int i = static_cast<int>(levels.size()) - 1; i >= 0; --i) {
+    const auto& lvl = levels[static_cast<std::size_t>(i)];
+    if (lvl.body_cost > 0 &&
+        static_cast<double>(hook_overhead) <=
+            max_fraction * static_cast<double>(lvl.body_cost)) {
+      return i;
+    }
+  }
+  return 0;  // even the outermost level is fine-grained: hook there anyway
+}
+
+}  // namespace nowlb::loop

@@ -1,0 +1,35 @@
+// Load-balancing hook placement (§4.2, Fig. 3).
+//
+// Hooks are conditional calls to the balancing code. The compiler inserts
+// them at the deepest loop level whose per-execution body cost keeps the
+// hook overhead below a small fraction (1 %) of the work between hooks:
+// frequent enough to be responsive, cheap enough to be negligible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nowlb::loop {
+
+/// One candidate hook level in the loop nest, outermost first.
+/// `body_cost` is the estimated cost of one execution of this level's body
+/// (i.e. the work done between consecutive hook executions at this level).
+struct HookLevel {
+  std::string label;        // e.g. "outer", "strip", "iteration"
+  sim::Time body_cost = 0;  // estimated from the spec's cost model
+};
+
+/// Cost of executing one (disabled) hook: a counter check plus the
+/// amortized balancing work. Paper-era estimate; configurable.
+inline constexpr sim::Time kDefaultHookOverhead = 20 * sim::kMicrosecond;
+
+/// Pick the index of the deepest level (largest index) whose hook overhead
+/// is below `max_fraction` of that level's body cost. Falls back to the
+/// outermost level if even it is too fine (degenerate nests).
+int place_hook(const std::vector<HookLevel>& levels,
+               sim::Time hook_overhead = kDefaultHookOverhead,
+               double max_fraction = 0.01);
+
+}  // namespace nowlb::loop

@@ -1,0 +1,30 @@
+#include "loop/spec.hpp"
+
+namespace nowlb::loop {
+
+AppProperties analyze(const LoopNestSpec& spec) {
+  AppProperties p;
+  p.name = spec.name;
+  p.loop_carried_dependences = spec.loop_carried_dependences;
+  p.communication_outside_loop = spec.communication_outside_loop;
+  p.repeated_execution = spec.outer_iters > 1;
+  p.index_dependent_iteration_size = spec.index_dependent_iteration_size;
+  p.data_dependent_iteration_size = spec.data_dependent_iteration_size;
+
+  // Varying loop bounds: compare the distributed range across outer
+  // iterations (compile-time analysis of the bound expressions; here the
+  // bounds function is the expression).
+  p.varying_loop_bounds = false;
+  if (spec.bounds && spec.outer_iters > 1) {
+    const auto first = spec.bounds(0);
+    for (int k = 1; k < spec.outer_iters; ++k) {
+      if (!(spec.bounds(k) == first)) {
+        p.varying_loop_bounds = true;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace nowlb::loop

@@ -1,0 +1,49 @@
+// Simulation configuration: host scheduler, network, and messaging costs.
+//
+// Defaults are calibrated to the paper's testbed — Sun 4/330 workstations
+// running a 100 ms-quantum UNIX scheduler on the Nectar network (100 MB/s
+// links, ~100 µs latency) — see DESIGN.md §5.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace nowlb::sim {
+
+struct HostConfig {
+  /// Round-robin scheduling quantum (paper infers 100 ms: the automatic
+  /// strip-mine block of 150 ms is "1.5 times the scheduling quantum").
+  Time quantum = 100 * kMillisecond;
+  /// Cost of a context switch between processes, charged to neither process
+  /// (pure lost time, degrades efficiency under multiprogramming).
+  Time context_switch = 50 * kMicrosecond;
+};
+
+struct NetConfig {
+  /// Link bandwidth in bytes/second (Nectar: 100 Mbyte/s fibre links).
+  double bandwidth_bps = 100e6;
+  /// One-way wire latency between distinct hosts.
+  Time latency = 100 * kMicrosecond;
+  /// Delivery delay between processes on the same host (loopback).
+  Time local_latency = 10 * kMicrosecond;
+  /// Per-message protocol header bytes (affects transmission time).
+  std::size_t header_bytes = 64;
+};
+
+struct MsgConfig {
+  /// Sender-side software overhead per message (charged as CPU).
+  Time send_overhead = 200 * kMicrosecond;
+  /// Receiver-side software overhead per message (charged as CPU).
+  Time recv_overhead = 150 * kMicrosecond;
+};
+
+struct WorldConfig {
+  HostConfig host;
+  NetConfig net;
+  MsgConfig msg;
+  std::uint64_t seed = 1994;
+};
+
+}  // namespace nowlb::sim

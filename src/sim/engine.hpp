@@ -1,0 +1,80 @@
+// Discrete-event engine: a cancellable priority queue of timestamped
+// callbacks plus the virtual clock.
+//
+// Ties are broken by insertion sequence number, so simulations are fully
+// deterministic for a given sequence of schedule calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nowlb::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancelling a scheduled event.
+  struct EventId {
+    std::uint64_t seq = 0;
+    std::weak_ptr<bool> alive;
+  };
+
+  Time now() const { return now_; }
+
+  EventId schedule_at(Time t, Callback cb);
+  EventId schedule_after(Time dt, Callback cb) {
+    return schedule_at(now_ + dt, cb);
+  }
+
+  /// Cancel a pending event. Safe to call after the event has fired.
+  void cancel(EventId& id);
+
+  /// Run until the queue drains, stop() is called, or an error is noted.
+  void run();
+
+  /// Run until virtual time `t` (events at exactly t are executed).
+  void run_until(Time t);
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Record a fatal error; the run loop exits and run() rethrows it.
+  void fail(std::exception_ptr e) {
+    if (!error_) error_ = e;
+    stopped_ = true;
+  }
+
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> alive;  // *alive == false once cancelled
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  bool step();  // dispatch one event; false if queue empty
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> q_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::size_t live_events_ = 0;
+  bool stopped_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace nowlb::sim

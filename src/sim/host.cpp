@@ -1,0 +1,65 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+
+#include "sim/process.hpp"
+#include "util/check.hpp"
+
+namespace nowlb::sim {
+
+Host::Host(Engine& eng, int id, HostConfig cfg)
+    : eng_(eng), id_(id), cfg_(cfg) {}
+
+void Host::submit(Process& p, Time demand) {
+  NOWLB_CHECK(demand > 0, "zero demand should not reach the scheduler");
+  NOWLB_CHECK(p.remaining_demand == 0,
+              "process " << p.name() << " already has outstanding demand");
+  p.remaining_demand = demand;
+  runq_.push_back(&p);
+  dispatch();
+}
+
+void Host::dispatch() {
+  if (running_ != nullptr || runq_.empty()) return;
+  running_ = runq_.front();
+  runq_.pop_front();
+  slice_len_ = std::min(cfg_.quantum, running_->remaining_demand);
+  Time overhead = 0;
+  if (last_ran_ != running_ && last_ran_ != nullptr) {
+    overhead = cfg_.context_switch;
+    ++switches_;
+  }
+  last_ran_ = running_;
+  slice_work_begin_ = eng_.now() + overhead;
+  eng_.schedule_at(slice_work_begin_ + slice_len_, [this] { on_slice_end(); });
+}
+
+void Host::on_slice_end() {
+  Process* p = running_;
+  NOWLB_CHECK(p != nullptr, "slice end with no running process");
+  p->cpu_used_ += slice_len_;
+  p->remaining_demand -= slice_len_;
+  running_ = nullptr;
+
+  if (p->remaining_demand > 0) {
+    runq_.push_back(p);
+    dispatch();
+    return;
+  }
+  // Demand satisfied: start the next queued process first so that any new
+  // demand the resumed process issues queues fairly behind it.
+  dispatch();
+  p->resume();
+}
+
+Time Host::cpu_used(const Process& p) const {
+  Time t = p.cpu_accounted();
+  if (running_ == &p) {
+    const Time in_flight =
+        std::clamp<Time>(eng_.now() - slice_work_begin_, 0, slice_len_);
+    t += in_flight;
+  }
+  return t;
+}
+
+}  // namespace nowlb::sim

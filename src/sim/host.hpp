@@ -1,0 +1,55 @@
+// Simulated workstation CPU with a round-robin, quantum-based scheduler.
+//
+// This models the property the paper's load balancer actually contends
+// with: multiple processes (the slave plus competing tasks) time-share one
+// CPU in quantum-sized slices, so measured computation rates oscillate on
+// the quantum timescale and degrade in proportion to the competing load.
+// Per-process CPU accounting stands in for getrusage().
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace nowlb::sim {
+
+class Process;
+
+class Host {
+ public:
+  Host(Engine& eng, int id, HostConfig cfg);
+
+  int id() const { return id_; }
+
+  /// Enqueue a CPU demand for `p` (resume_point must be set). The process
+  /// is resumed once it has accumulated `demand` of CPU time.
+  void submit(Process& p, Time demand);
+
+  /// CPU consumed by `p`, including the in-flight portion of the current
+  /// slice — the simulator's getrusage().
+  Time cpu_used(const Process& p) const;
+
+  /// Number of processes currently runnable (incl. running).
+  std::size_t load() const { return runq_.size() + (running_ ? 1 : 0); }
+
+  std::uint64_t context_switches() const { return switches_; }
+
+ private:
+  void dispatch();
+  void on_slice_end();
+
+  Engine& eng_;
+  int id_;
+  HostConfig cfg_;
+  std::deque<Process*> runq_;
+  Process* running_ = nullptr;
+  Process* last_ran_ = nullptr;
+  Time slice_len_ = 0;
+  Time slice_work_begin_ = 0;  // when the current slice starts burning CPU
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace nowlb::sim

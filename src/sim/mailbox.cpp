@@ -1,0 +1,40 @@
+#include "sim/mailbox.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace nowlb::sim {
+
+void Mailbox::push(Message m) {
+  if (waiting_ && matches(m, want_tag_, want_src_)) {
+    waiting_ = false;
+    auto handler = std::move(handler_);
+    handler_ = nullptr;
+    handler(std::move(m));
+    return;
+  }
+  q_.push_back(std::move(m));
+}
+
+std::optional<Message> Mailbox::try_pop(Tag tag, Pid src) {
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (matches(*it, tag, src)) {
+      Message m = std::move(*it);
+      q_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+void Mailbox::set_pending(Tag tag, Pid src,
+                          std::function<void(Message)> handler) {
+  NOWLB_CHECK(!waiting_, "process already has a pending receive");
+  waiting_ = true;
+  want_tag_ = tag;
+  want_src_ = src;
+  handler_ = std::move(handler);
+}
+
+}  // namespace nowlb::sim

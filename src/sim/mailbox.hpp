@@ -1,0 +1,43 @@
+// Per-process message queue with tag/source-selective receive.
+//
+// A process has a single logical thread, so at most one receive is pending
+// at a time; the mailbox either satisfies it from the queue or parks the
+// continuation until a matching message is delivered.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "sim/message.hpp"
+
+namespace nowlb::sim {
+
+class Mailbox {
+ public:
+  /// Deliver a message. If it matches the pending receive, the pending
+  /// handler is invoked immediately (the caller is an engine event).
+  void push(Message m);
+
+  /// Pop the oldest message matching (tag, src); kAnyTag/kAnyPid wildcard.
+  std::optional<Message> try_pop(Tag tag, Pid src);
+
+  /// Park a receive. Precondition: no receive already pending.
+  void set_pending(Tag tag, Pid src, std::function<void(Message)> handler);
+
+  bool has_pending() const { return waiting_; }
+  std::size_t queued() const { return q_.size(); }
+
+ private:
+  static bool matches(const Message& m, Tag tag, Pid src) {
+    return (tag == kAnyTag || m.tag == tag) && (src == kAnyPid || m.src == src);
+  }
+
+  std::deque<Message> q_;
+  bool waiting_ = false;
+  Tag want_tag_ = kAnyTag;
+  Pid want_src_ = kAnyPid;
+  std::function<void(Message)> handler_;
+};
+
+}  // namespace nowlb::sim

@@ -1,0 +1,32 @@
+// Messages exchanged between simulated processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nowlb::sim {
+
+/// Process identifier, unique within a World.
+using Pid = int;
+inline constexpr Pid kAnyPid = -1;
+
+/// Message tag (like an MPI tag); selects which recv matches.
+using Tag = int;
+inline constexpr Tag kAnyTag = -1;
+
+using Bytes = std::vector<std::byte>;
+
+struct Message {
+  Pid src = kAnyPid;
+  Pid dst = kAnyPid;
+  Tag tag = 0;
+  Bytes payload;
+
+  /// Wire size used for transmission-time modelling (payload + header).
+  std::size_t wire_size(std::size_t header_bytes) const {
+    return payload.size() + header_bytes;
+  }
+};
+
+}  // namespace nowlb::sim

@@ -1,0 +1,34 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/process.hpp"
+
+namespace nowlb::sim {
+
+void Network::post(Message m, int src_host, Process& dst, int dst_host) {
+  ++messages_;
+  bytes_ += m.payload.size();
+
+  Time arrival;
+  if (src_host == dst_host) {
+    arrival = eng_.now() + cfg_.local_latency;
+  } else {
+    const double tx_seconds =
+        static_cast<double>(m.wire_size(cfg_.header_bytes)) /
+        cfg_.bandwidth_bps;
+    const Time tx = from_seconds(tx_seconds);
+    Time& busy = link_busy_until_[src_host];
+    const Time start = std::max(eng_.now(), busy);
+    busy = start + tx;
+    arrival = busy + cfg_.latency;
+  }
+
+  Process* target = &dst;
+  eng_.schedule_at(arrival, [target, msg = std::move(m)]() mutable {
+    target->mailbox().push(std::move(msg));
+  });
+}
+
+}  // namespace nowlb::sim

@@ -1,0 +1,39 @@
+// Crossbar network model (Nectar-style).
+//
+// Each host has one outgoing link; messages from that host serialize on the
+// link at the configured bandwidth, then arrive after the wire latency.
+// Local (same-host) messages bypass the link. Delivery pushes into the
+// destination mailbox, waking any matching pending receive.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace nowlb::sim {
+
+class Process;
+
+class Network {
+ public:
+  Network(Engine& eng, NetConfig cfg) : eng_(eng), cfg_(cfg) {}
+
+  /// Enqueue `m` for delivery from src_host to dst (on dst_host) starting
+  /// at the current virtual time.
+  void post(Message m, int src_host, Process& dst, int dst_host);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t payload_bytes_sent() const { return bytes_; }
+
+ private:
+  Engine& eng_;
+  NetConfig cfg_;
+  std::unordered_map<int, Time> link_busy_until_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace nowlb::sim

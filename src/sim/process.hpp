@@ -1,0 +1,78 @@
+// A simulated process: a coroutine bound to a host, with a mailbox and
+// CPU accounting.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/mailbox.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace nowlb::sim {
+
+class Host;
+class World;
+class Context;
+
+class Process {
+ public:
+  Process(World& world, Host& host, Pid pid, std::string name, bool essential);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  Pid pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  Host& host() { return host_; }
+  const Host& host() const { return host_; }
+  Mailbox& mailbox() { return mailbox_; }
+  Context& ctx() { return *ctx_; }
+  World& world() { return world_; }
+
+  bool essential() const { return essential_; }
+  bool finished() const { return finished_; }
+  std::exception_ptr error() const { return error_; }
+
+  /// CPU time consumed so far, excluding any in-flight slice (Host adds
+  /// the in-flight portion; use World::cpu_used for the full figure).
+  Time cpu_accounted() const { return cpu_used_; }
+
+  /// Begin executing the process body (called by the World's start event).
+  void start();
+
+  /// Resume the coroutine at its stored suspension point.
+  void resume();
+
+  // --- scheduling state, manipulated by Host ---
+  Time remaining_demand = 0;
+  Time cpu_used_ = 0;
+  std::coroutine_handle<> resume_point;
+
+ private:
+  friend class World;
+
+  /// Root wrapper: runs the body, captures errors, signals completion.
+  Task<> wrap(Task<> body);
+
+  /// The body factory is stored for the process lifetime: a lambda
+  /// coroutine references its closure, which lives inside this function
+  /// object, so it must outlive the coroutine frame (CP.51).
+  std::function<Task<>(Context&)> body_;
+
+  World& world_;
+  Host& host_;
+  Pid pid_;
+  std::string name_;
+  bool essential_;
+  Mailbox mailbox_;
+  std::unique_ptr<Context> ctx_;
+  Task<> root_;
+  bool finished_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace nowlb::sim

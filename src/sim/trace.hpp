@@ -1,0 +1,40 @@
+// Named time-series recorder for experiment traces (e.g. Fig. 9's raw
+// rate / filtered rate / work assignment curves).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace nowlb::sim {
+
+class Recorder {
+ public:
+  /// Append (t, v) to the series named `name` (created on first use).
+  void record(const std::string& name, Time t, double v) {
+    series_[name].add(to_seconds(t), v);
+  }
+
+  /// Returns nullptr if the series does not exist.
+  const Series* find(const std::string& name) const {
+    const auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [k, _] : series_) out.push_back(k);
+    return out;
+  }
+
+  void clear() { series_.clear(); }
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace nowlb::sim

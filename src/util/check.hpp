@@ -1,0 +1,42 @@
+// Lightweight runtime-checked assertions that stay on in release builds.
+//
+// The simulator and load balancer are full of protocol invariants (work
+// conservation, ownership consistency, event ordering) whose violation must
+// abort an experiment loudly rather than corrupt results silently.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nowlb {
+
+/// Thrown when a NOWLB_CHECK invariant fails.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace nowlb
+
+/// Always-on invariant check. `NOWLB_CHECK(cond)` or
+/// `NOWLB_CHECK(cond, "context " << value)`.
+#define NOWLB_CHECK(cond, ...)                                           \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream nowlb_check_os;                                 \
+      nowlb_check_os << "" __VA_ARGS__;                                  \
+      ::nowlb::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                    nowlb_check_os.str());               \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,31 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Accepts `--name=value`; bare `--flag` is boolean true; everything else is
+// positional.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nowlb {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nowlb

@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+namespace nowlb {
+
+LogLevel Log::level_ = LogLevel::Warn;
+std::ostream* Log::sink_ = &std::cerr;
+std::mutex Log::mu_;
+
+const char* Log::level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel l, const std::string& component,
+                const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*sink_) << '[' << level_name(l) << "] [" << component << "] " << message
+           << '\n';
+}
+
+}  // namespace nowlb

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Experiments run thousands of simulated seconds; logging defaults to Warn so
+// benches stay quiet, and tests can raise verbosity per component.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace nowlb {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global logging configuration (process-wide).
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel l) { level_ = l; }
+  static void set_sink(std::ostream* os) { sink_ = os; }
+
+  /// Emit one line: `[level] [component] message`. Thread-safe.
+  static void write(LogLevel l, const std::string& component,
+                    const std::string& message);
+
+  static const char* level_name(LogLevel l);
+
+ private:
+  static LogLevel level_;
+  static std::ostream* sink_;
+  static std::mutex mu_;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  const char* component;
+  std::ostringstream os;
+  LogLine(LogLevel l, const char* c) : level(l), component(c) {}
+  ~LogLine() { Log::write(level, component, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace nowlb
+
+/// NOWLB_LOG(Info, "lb") << "moved " << n << " units";
+#define NOWLB_LOG(lvl, component)                               \
+  if (::nowlb::LogLevel::lvl < ::nowlb::Log::level()) {         \
+  } else                                                        \
+    ::nowlb::detail::LogLine(::nowlb::LogLevel::lvl, component).os

@@ -1,0 +1,85 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of an experiment (random-walk loads, jittered
+// message overheads) draws from an explicitly seeded Rng so runs are exactly
+// reproducible; nothing in the library touches std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nowlb {
+
+/// xoshiro256** with a splitmix64 seeder — small, fast, well distributed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Derive an independent child stream (for per-process RNGs).
+  Rng fork() { return Rng(next_u64()); }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace nowlb

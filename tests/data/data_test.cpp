@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "data/activity.hpp"
+#include "data/dist_array.hpp"
+#include "data/index_set.hpp"
+#include "data/slice.hpp"
+
+namespace nowlb::data {
+namespace {
+
+// ------------------------------------------------------------- BlockMap
+
+TEST(BlockMap, EvenDistributionSplitsRemainder) {
+  auto m = BlockMap::even(10, 3);
+  EXPECT_EQ(m.counts(), (std::vector<int>{4, 3, 3}));
+  EXPECT_EQ(m.total(), 10);
+  EXPECT_EQ(m.range(0), (SliceRange{0, 4}));
+  EXPECT_EQ(m.range(2), (SliceRange{7, 10}));
+}
+
+TEST(BlockMap, OwnerLookup) {
+  auto m = BlockMap::from_counts({2, 0, 3});
+  EXPECT_EQ(m.owner(0), 0);
+  EXPECT_EQ(m.owner(1), 0);
+  EXPECT_EQ(m.owner(2), 2);  // rank 1 owns nothing
+  EXPECT_EQ(m.owner(4), 2);
+  EXPECT_THROW(m.owner(5), CheckFailure);
+  EXPECT_THROW(m.owner(-1), CheckFailure);
+}
+
+TEST(BlockMap, EmptyRanksAllowed) {
+  auto m = BlockMap::from_counts({0, 5, 0});
+  EXPECT_EQ(m.count(0), 0);
+  EXPECT_EQ(m.count(1), 5);
+  EXPECT_EQ(m.range(2).count(), 0);
+}
+
+class BlockMapEvenProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BlockMapEvenProperty, PartitionInvariants) {
+  const auto [total, slaves] = GetParam();
+  auto m = BlockMap::even(total, slaves);
+  // Counts sum to total and differ by at most one.
+  int sum = 0, lo = total, hi = 0;
+  for (int c : m.counts()) {
+    sum += c;
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_EQ(sum, total);
+  EXPECT_LE(hi - lo, 1);
+  // Every slice has exactly one owner and lies in that owner's range.
+  for (SliceId s = 0; s < total; ++s) {
+    const int r = m.owner(s);
+    EXPECT_TRUE(m.range(r).contains(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockMapEvenProperty,
+    ::testing::Values(std::pair{0, 1}, std::pair{1, 1}, std::pair{1, 7},
+                      std::pair{7, 7}, std::pair{500, 7}, std::pair{2000, 6},
+                      std::pair{13, 5}, std::pair{100, 3}));
+
+// ------------------------------------------------------------- IndexSet
+
+TEST(IndexSet, ConstructFromRange) {
+  IndexSet s(SliceRange{3, 7});
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(6));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_TRUE(s.is_contiguous());
+}
+
+TEST(IndexSet, InsertEraseMaintainOrder) {
+  IndexSet s;
+  s.insert(5);
+  s.insert(1);
+  s.insert(3);
+  EXPECT_EQ(s.ids(), (std::vector<SliceId>{1, 3, 5}));
+  s.erase(3);
+  EXPECT_EQ(s.ids(), (std::vector<SliceId>{1, 5}));
+  EXPECT_FALSE(s.is_contiguous());
+}
+
+TEST(IndexSet, DuplicateInsertThrows) {
+  IndexSet s(SliceRange{0, 3});
+  EXPECT_THROW(s.insert(1), CheckFailure);
+}
+
+TEST(IndexSet, EraseMissingThrows) {
+  IndexSet s(SliceRange{0, 3});
+  EXPECT_THROW(s.erase(9), CheckFailure);
+}
+
+TEST(IndexSet, TakeHighestAndLowest) {
+  IndexSet s(SliceRange{0, 10});
+  auto hi = s.take_highest(3);
+  EXPECT_EQ(hi, (std::vector<SliceId>{7, 8, 9}));
+  auto lo = s.take_lowest(2);
+  EXPECT_EQ(lo, (std::vector<SliceId>{0, 1}));
+  EXPECT_EQ(s.size(), 5);
+  EXPECT_EQ(s.min(), 2);
+  EXPECT_EQ(s.max(), 6);
+  EXPECT_TRUE(s.is_contiguous());
+}
+
+TEST(IndexSet, TakeTooManyThrows) {
+  IndexSet s(SliceRange{0, 2});
+  EXPECT_THROW(s.take_highest(3), CheckFailure);
+}
+
+// ------------------------------------------------------------ DistArray
+
+TEST(DistArray, AddRemoveAccess) {
+  DistArray<double> a(4);
+  a.add(7, {1, 2, 3, 4});
+  EXPECT_TRUE(a.owns(7));
+  EXPECT_FALSE(a.owns(8));
+  a.slice(7)[2] = 99;
+  auto [contents, marker] = a.remove(7);
+  EXPECT_EQ(contents, (std::vector<double>{1, 2, 99, 4}));
+  EXPECT_EQ(marker, 0);
+  EXPECT_FALSE(a.owns(7));
+}
+
+TEST(DistArray, WrongLengthThrows) {
+  DistArray<double> a(4);
+  EXPECT_THROW(a.add(0, {1, 2}), CheckFailure);
+}
+
+TEST(DistArray, DuplicateAddThrows) {
+  DistArray<double> a(2);
+  a.add(0, {1, 2});
+  EXPECT_THROW(a.add(0, {3, 4}), CheckFailure);
+}
+
+TEST(DistArray, AccessMissingThrows) {
+  DistArray<double> a(2);
+  EXPECT_THROW(a.slice(5), CheckFailure);
+  EXPECT_THROW(a.remove(5), CheckFailure);
+  EXPECT_THROW(a.marker(5), CheckFailure);
+}
+
+TEST(DistArray, MarkersSurvivePackUnpack) {
+  DistArray<double> src(3), dst(3);
+  src.add(1, {1, 1, 1}, /*marker=*/5);
+  src.add(2, {2, 2, 2}, /*marker=*/6);
+  src.add(3, {3, 3, 3});
+  auto payload = src.pack_and_remove({1, 3});
+  EXPECT_FALSE(src.owns(1));
+  EXPECT_FALSE(src.owns(3));
+  EXPECT_TRUE(src.owns(2));
+  auto ids = dst.unpack_and_add(payload);
+  EXPECT_EQ(ids, (std::vector<SliceId>{1, 3}));
+  EXPECT_EQ(dst.marker(1), 5);
+  EXPECT_EQ(dst.marker(3), 0);
+  EXPECT_EQ(dst.slice(3), (std::vector<double>{3, 3, 3}));
+}
+
+TEST(DistArray, EmptyPackRoundtrip) {
+  DistArray<float> src(2), dst(2);
+  auto payload = src.pack_and_remove({});
+  EXPECT_TRUE(dst.unpack_and_add(payload).empty());
+}
+
+TEST(DistArray, OwnedIdsSorted) {
+  DistArray<int> a(1);
+  a.add(5, {0});
+  a.add(1, {0});
+  a.add(3, {0});
+  EXPECT_EQ(a.owned_ids(), (std::vector<SliceId>{1, 3, 5}));
+}
+
+// --------------------------------------------------------- ActivityMask
+
+TEST(ActivityMask, DeactivateBelow) {
+  ActivityMask m(5);
+  EXPECT_EQ(m.active_count(), 5);
+  m.deactivate_below(3);
+  EXPECT_FALSE(m.active(0));
+  EXPECT_FALSE(m.active(2));
+  EXPECT_TRUE(m.active(3));
+  EXPECT_EQ(m.active_count(), 2);
+}
+
+TEST(ActivityMask, ActiveInOwnedSet) {
+  ActivityMask m(10);
+  m.deactivate_below(4);
+  IndexSet owned(SliceRange{2, 8});
+  EXPECT_EQ(m.active_in(owned), 4);  // 4,5,6,7
+}
+
+TEST(ActivityMask, HighestLowestActiveSkipInactive) {
+  ActivityMask m(10);
+  m.deactivate(5);
+  m.deactivate(8);
+  IndexSet owned(SliceRange{4, 10});
+  EXPECT_EQ(m.highest_active(owned, 2), (std::vector<SliceId>{9, 7}));
+  EXPECT_EQ(m.lowest_active(owned, 2), (std::vector<SliceId>{4, 6}));
+}
+
+TEST(ActivityMask, RequestingTooManyActiveThrows) {
+  ActivityMask m(4);
+  m.deactivate_below(3);
+  IndexSet owned(SliceRange{0, 4});
+  EXPECT_THROW(m.highest_active(owned, 2), CheckFailure);
+}
+
+}  // namespace
+}  // namespace nowlb::data

@@ -1,0 +1,102 @@
+#include "lb/allocate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace nowlb::lb {
+namespace {
+
+TEST(Allocate, ProportionalToRates) {
+  auto a = proportional_allocation({2.0, 1.0, 1.0}, 100);
+  EXPECT_EQ(a, (std::vector<int>{50, 25, 25}));
+}
+
+TEST(Allocate, ConservesTotalWithRemainders) {
+  auto a = proportional_allocation({1.0, 1.0, 1.0}, 100);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 100);
+  // 100/3: two ranks get 33, the largest-remainder one gets 34.
+  std::vector<int> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{33, 33, 34}));
+}
+
+TEST(Allocate, ZeroRateGetsNothing) {
+  auto a = proportional_allocation({1.0, 0.0, 1.0}, 10);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[0] + a[2], 10);
+}
+
+TEST(Allocate, NegativeRateTreatedAsZero) {
+  auto a = proportional_allocation({1.0, -5.0, 1.0}, 10);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 10);
+}
+
+TEST(Allocate, AllZeroRatesFallsBackToEven) {
+  auto a = proportional_allocation({0.0, 0.0, 0.0, 0.0}, 10);
+  EXPECT_EQ(a, (std::vector<int>{3, 3, 2, 2}));
+}
+
+TEST(Allocate, ZeroTotalYieldsZeros) {
+  auto a = proportional_allocation({1.0, 2.0}, 0);
+  EXPECT_EQ(a, (std::vector<int>{0, 0}));
+}
+
+TEST(Allocate, SingleSlaveTakesAll) {
+  EXPECT_EQ(proportional_allocation({0.5}, 7), (std::vector<int>{7}));
+}
+
+struct AllocCase {
+  std::vector<double> rates;
+  int total;
+};
+
+class AllocateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocateProperty, RandomizedInvariants) {
+  // Property sweep: conservation, non-negativity, and near-proportionality
+  // (each assignment within 1 of the exact real-valued share).
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    const int total = static_cast<int>(rng.below(3000));
+    std::vector<double> rates(n);
+    double agg = 0;
+    for (auto& r : rates) {
+      r = rng.next_double() * 10.0;
+      agg += r;
+    }
+    auto a = proportional_allocation(rates, total);
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), total);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      EXPECT_GE(a[i], 0);
+      if (agg > 0) {
+        const double exact = rates[i] / agg * total;
+        EXPECT_NEAR(a[i], exact, 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocateProperty, ::testing::Values(1, 2, 3));
+
+TEST(ProjectedTime, MaxOverSlaves) {
+  EXPECT_DOUBLE_EQ(projected_time({10, 20}, {1.0, 4.0}), 10.0);
+  EXPECT_DOUBLE_EQ(projected_time({10, 20}, {1.0, 1.0}), 20.0);
+}
+
+TEST(ProjectedTime, ZeroWorkIgnoresRate) {
+  EXPECT_DOUBLE_EQ(projected_time({0, 5}, {0.0, 1.0}), 5.0);
+}
+
+TEST(ProjectedTime, StalledSlaveIsInfinite) {
+  EXPECT_TRUE(std::isinf(projected_time({5, 5}, {0.0, 1.0})));
+}
+
+}  // namespace
+}  // namespace nowlb::lb

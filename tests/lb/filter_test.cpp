@@ -1,0 +1,74 @@
+#include "lb/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nowlb::lb {
+namespace {
+
+TEST(TrendFilter, FirstSamplePassesThrough) {
+  TrendFilter f;
+  EXPECT_DOUBLE_EQ(f.update(10.0), 10.0);
+  EXPECT_TRUE(f.initialized());
+}
+
+TEST(TrendFilter, DampsIsolatedSpike) {
+  TrendFilter f(0.3, 0.75, 3);
+  f.update(10.0);
+  const double after_spike = f.update(100.0);
+  // Only 30 % of the spike passes through.
+  EXPECT_DOUBLE_EQ(after_spike, 10.0 + 0.3 * 90.0);
+}
+
+TEST(TrendFilter, TrendAcceleratesConvergence) {
+  TrendFilter slow(0.3, 0.75, 3);
+  for (int i = 0; i < 4; ++i) slow.update(10.0);  // settle at 10
+  // Step change sustained: after `trend_len` same-direction moves, the
+  // filter switches to the fast weight and closes the gap quickly.
+  double v = 0;
+  for (int i = 0; i < 6; ++i) v = slow.update(100.0);
+  EXPECT_GT(v, 95.0);
+  EXPECT_GE(slow.trend_run(), 3);
+}
+
+TEST(TrendFilter, OscillationStaysDamped) {
+  TrendFilter f(0.3, 0.75, 3);
+  f.update(50.0);
+  // Alternating samples never build a trend run >= 3.
+  for (int i = 0; i < 20; ++i) f.update(i % 2 ? 100.0 : 0.0);
+  EXPECT_LT(f.trend_run(), 3);
+  // Filtered value stays in the middle band rather than pinning to extremes.
+  EXPECT_GT(f.value(), 20.0);
+  EXPECT_LT(f.value(), 80.0);
+}
+
+TEST(TrendFilter, TracksDropWithLag) {
+  // Fig. 9 behaviour: a sustained drop is followed, but the adjusted rate
+  // lags the raw rate.
+  TrendFilter f;
+  for (int i = 0; i < 10; ++i) f.update(100.0);
+  std::vector<double> path;
+  for (int i = 0; i < 6; ++i) path.push_back(f.update(40.0));
+  EXPECT_GT(path.front(), 40.0);      // lags at first
+  EXPECT_NEAR(path.back(), 40.0, 2.0);  // converged
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_LT(path[i], path[i - 1]);  // monotone pursuit
+}
+
+TEST(TrendFilter, ResetClearsState) {
+  TrendFilter f;
+  f.update(5.0);
+  f.reset();
+  EXPECT_FALSE(f.initialized());
+  EXPECT_DOUBLE_EQ(f.update(7.0), 7.0);
+}
+
+TEST(TrendFilter, ConstantInputIsFixedPoint) {
+  TrendFilter f;
+  f.update(42.0);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(f.update(42.0), 42.0);
+}
+
+}  // namespace
+}  // namespace nowlb::lb

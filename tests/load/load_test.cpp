@@ -1,0 +1,80 @@
+// Load generator tests: each generator consumes the expected CPU share.
+#include <gtest/gtest.h>
+
+#include "load/generators.hpp"
+#include "sim/world.hpp"
+
+namespace nowlb::load {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+double cpu_share_after(sim::ProcessBody body, sim::Time horizon) {
+  sim::World w;
+  auto& h = w.add_host();
+  const sim::Pid pid = w.spawn(h, "load", std::move(body), /*essential=*/false);
+  w.run_until(horizon);
+  return sim::to_seconds(w.cpu_used(pid)) / sim::to_seconds(horizon);
+}
+
+TEST(Load, ConstantUsesAllCpuWhenAlone) {
+  EXPECT_NEAR(cpu_share_after(constant(), 10 * kSecond), 1.0, 0.02);
+}
+
+TEST(Load, OscillatingUsesDutyCycle) {
+  // 10 s on / 10 s off -> ~50% over long horizons.
+  EXPECT_NEAR(cpu_share_after(oscillating(20 * kSecond, 10 * kSecond),
+                              100 * kSecond),
+              0.5, 0.05);
+}
+
+TEST(Load, OscillatingInitialDelayShiftsPhase) {
+  sim::World w;
+  auto& h = w.add_host();
+  const sim::Pid pid = w.spawn(
+      h, "load", oscillating(20 * kSecond, 10 * kSecond, 5 * kSecond),
+      /*essential=*/false);
+  w.run_until(5 * kSecond);
+  EXPECT_EQ(w.cpu_used(pid), 0);  // still in the initial delay
+  w.run_until(10 * kSecond);
+  EXPECT_GT(w.cpu_used(pid), 4 * kSecond);
+}
+
+TEST(Load, RampGrowsOverTime) {
+  sim::World w;
+  auto& h = w.add_host();
+  const sim::Pid pid =
+      w.spawn(h, "load", ramp(100 * kSecond), /*essential=*/false);
+  w.run_until(10 * kSecond);
+  const double early = sim::to_seconds(w.cpu_used(pid));
+  w.run_until(100 * kSecond);
+  const double total = sim::to_seconds(w.cpu_used(pid));
+  // Early share is small; the average over the whole ramp is ~50%.
+  EXPECT_LT(early / 10.0, 0.15);
+  EXPECT_NEAR(total / 100.0, 0.5, 0.1);
+}
+
+TEST(Load, RandomBurstsStayWithinBounds) {
+  const double share = cpu_share_after(
+      random_bursts(kSecond, 5 * kSecond, kSecond, 5 * kSecond),
+      200 * kSecond);
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.75);
+}
+
+TEST(Load, CompetingLoadHalvesAWorkersRate) {
+  sim::World w;
+  auto& h = w.add_host();
+  sim::Time done = 0;
+  w.spawn(h, "worker", [&](sim::Context& ctx) -> sim::Task<> {
+    co_await ctx.compute(10 * kSecond);
+    done = ctx.now();
+  });
+  w.spawn(h, "load", constant(), /*essential=*/false);
+  w.run();
+  EXPECT_NEAR(sim::to_seconds(done), 20.0, 0.5);
+}
+
+}  // namespace
+}  // namespace nowlb::load

@@ -1,0 +1,113 @@
+#include "msg/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/protocol.hpp"
+
+namespace nowlb::msg {
+namespace {
+
+TEST(Serialize, PodRoundtrip) {
+  Writer w;
+  w.put<std::int32_t>(-7).put<double>(3.25).put<std::uint8_t>(255);
+  Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 255);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, StringRoundtrip) {
+  Writer w;
+  w.put(std::string("hello world")).put(std::string(""));
+  Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VectorRoundtrip) {
+  Writer w;
+  std::vector<double> v{1.5, -2.5, 0.0};
+  w.put_vec(v);
+  w.put_vec(std::vector<int>{});
+  Bytes b = w.take();
+  Reader r(b);
+  EXPECT_EQ(r.get_vec<double>(), v);
+  EXPECT_TRUE(r.get_vec<int>().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, NestedBytes) {
+  Writer inner;
+  inner.put<int>(42);
+  Writer outer;
+  outer.put_bytes(inner.take());
+  Bytes b = outer.take();
+  Reader r(b);
+  Bytes extracted = r.get_bytes();
+  Reader r2(extracted);
+  EXPECT_EQ(r2.get<int>(), 42);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  Writer w;
+  w.put<std::int64_t>(1);
+  Bytes b = w.take();
+  b.resize(4);  // cut in half
+  Reader r(b);
+  EXPECT_THROW(r.get<std::int64_t>(), CheckFailure);
+}
+
+TEST(Serialize, TruncatedVectorThrows) {
+  Writer w;
+  w.put_vec(std::vector<double>{1, 2, 3});
+  Bytes b = w.take();
+  b.resize(b.size() - 8);
+  Reader r(b);
+  EXPECT_THROW(r.get_vec<double>(), CheckFailure);
+}
+
+TEST(Serialize, StatusReportRoundtrip) {
+  lb::StatusReport s;
+  s.round = 12;
+  s.units_done = 34.5;
+  s.elapsed_s = 1.75;
+  s.remaining = 99;
+  s.lb_blocked_s = 0.002;
+  s.move_time_s = 0.125;
+  s.moved_units = 8;
+  auto b = encode(s);
+  auto out = decode<lb::StatusReport>(b);
+  EXPECT_EQ(out.round, 12);
+  EXPECT_DOUBLE_EQ(out.units_done, 34.5);
+  EXPECT_DOUBLE_EQ(out.elapsed_s, 1.75);
+  EXPECT_EQ(out.remaining, 99);
+  EXPECT_DOUBLE_EQ(out.lb_blocked_s, 0.002);
+  EXPECT_DOUBLE_EQ(out.move_time_s, 0.125);
+  EXPECT_EQ(out.moved_units, 8);
+}
+
+TEST(Serialize, InstructionsRoundtrip) {
+  lb::Instructions ins;
+  ins.round = 3;
+  ins.phase_done = 1;
+  ins.units_until_next = 17.25;
+  ins.orders = {{2, 5, 1}, {0, 3, 0}};
+  auto b = encode(ins);
+  auto out = decode<lb::Instructions>(b);
+  EXPECT_EQ(out.round, 3);
+  EXPECT_EQ(out.phase_done, 1);
+  EXPECT_DOUBLE_EQ(out.units_until_next, 17.25);
+  ASSERT_EQ(out.orders.size(), 2u);
+  EXPECT_EQ(out.orders[0].peer_rank, 2);
+  EXPECT_EQ(out.orders[0].count, 5);
+  EXPECT_EQ(out.orders[0].is_send, 1);
+  EXPECT_EQ(out.orders[1].peer_rank, 0);
+  EXPECT_EQ(out.orders[1].is_send, 0);
+}
+
+}  // namespace
+}  // namespace nowlb::msg

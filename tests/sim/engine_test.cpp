@@ -1,0 +1,134 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace nowlb::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, DispatchesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  Time seen = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Engine, CancelPreventsDispatch) {
+  Engine e;
+  bool fired = false;
+  auto id = e.schedule_at(10, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, CancelAfterFireIsSafe) {
+  Engine e;
+  auto id = e.schedule_at(10, [] {});
+  e.run();
+  e.cancel(id);  // must not crash or corrupt counters
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, EventsScheduledDuringDispatchRun) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1, [&] {
+    ++count;
+    e.schedule_after(1, [&] { ++count; });
+  });
+  e.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.now(), 2);
+}
+
+TEST(Engine, StopHaltsDispatch) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule_at(2, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+  // Remaining event still pending.
+  EXPECT_EQ(e.pending_events(), 1u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 500);
+}
+
+TEST(Engine, RunUntilStopsBeforeLaterEvents) {
+  Engine e;
+  bool early = false, late = false;
+  e.schedule_at(100, [&] { early = true; });
+  e.schedule_at(1000, [&] { late = true; });
+  e.run_until(500);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(e.now(), 500);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.schedule_at(100, [&] {
+    EXPECT_THROW(e.schedule_at(50, [] {}), CheckFailure);
+  });
+  e.run();
+}
+
+TEST(Engine, FailRethrowsFromRun) {
+  Engine e;
+  e.schedule_at(1, [&] {
+    e.fail(std::make_exception_ptr(std::runtime_error("boom")));
+  });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, CountsDispatchedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.dispatched_events(), 5u);
+}
+
+}  // namespace
+}  // namespace nowlb::sim

@@ -1,0 +1,180 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nowlb::sim {
+namespace {
+
+// A manual gate that parks the handle for external resumption — stands in
+// for the engine in these unit tests. Awaited via a prvalue awaiter holding
+// a pointer: GCC (≤12) materializes a copy when co_awaiting an lvalue
+// reached through a lambda capture, so the awaiter must be copy-safe.
+struct ManualGate {
+  std::coroutine_handle<> parked;
+  struct Awaiter {
+    ManualGate* gate;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { gate->parked = h; }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{this}; }
+  void release() {
+    auto h = parked;
+    parked = nullptr;
+    h.resume();
+  }
+};
+
+TEST(Task, IsLazy) {
+  bool ran = false;
+  auto make = [&]() -> Task<> {
+    ran = true;
+    co_return;
+  };
+  Task<> t = make();
+  EXPECT_FALSE(ran);
+  t.start();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, NestedTasksReturnValues) {
+  auto leaf = []() -> Task<int> { co_return 21; };
+  auto mid = [&]() -> Task<int> {
+    int a = co_await leaf();
+    int b = co_await leaf();
+    co_return a + b;
+  };
+  int result = 0;
+  auto root = [&]() -> Task<> {
+    result = co_await mid();
+  };
+  Task<> t = root();
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Task, ResumptionContinuesThroughNesting) {
+  ManualGate gate;
+  std::vector<std::string> log;
+  auto inner = [&]() -> Task<int> {
+    log.push_back("inner-before");
+    co_await gate.wait();
+    log.push_back("inner-after");
+    co_return 7;
+  };
+  int got = 0;
+  auto outer = [&]() -> Task<> {
+    log.push_back("outer-before");
+    got = co_await inner();
+    log.push_back("outer-after");
+  };
+  Task<> t = outer();
+  t.start();
+  EXPECT_EQ(log, (std::vector<std::string>{"outer-before", "inner-before"}));
+  EXPECT_FALSE(t.done());
+  gate.release();  // external resumption unwinds inner -> outer
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(log.back(), "outer-after");
+}
+
+TEST(Task, ExceptionsPropagateAcrossNesting) {
+  auto thrower = []() -> Task<int> {
+    throw std::runtime_error("inner failure");
+    co_return 0;
+  };
+  std::string caught;
+  auto root = [&]() -> Task<> {
+    try {
+      co_await thrower();
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+  };
+  Task<> t = root();
+  t.start();
+  EXPECT_EQ(caught, "inner failure");
+}
+
+TEST(Task, RethrowIfErrorSurfacesRootFailure) {
+  auto root = []() -> Task<> {
+    throw std::logic_error("root failure");
+    co_return;
+  };
+  Task<> t = root();
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.rethrow_if_error(), std::logic_error);
+}
+
+TEST(Task, DestroyingSuspendedStackReclaimsFrames) {
+  // Frame-local objects must be destroyed when an outer Task is dropped
+  // mid-suspension (this is how the World tears down infinite processes).
+  struct Sentinel {
+    int* counter;
+    explicit Sentinel(int* c) : counter(c) { ++*counter; }
+    ~Sentinel() { --*counter; }
+  };
+  int live = 0;
+  ManualGate gate;
+  auto inner = [&]() -> Task<> {
+    Sentinel s(&live);
+    co_await gate.wait();
+  };
+  auto outer = [&]() -> Task<> {
+    Sentinel s(&live);
+    co_await inner();
+  };
+  {
+    Task<> t = outer();
+    t.start();
+    EXPECT_EQ(live, 2);  // both frames alive, suspended at gate
+  }
+  EXPECT_EQ(live, 0);  // dropping the root destroyed the whole stack
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  auto make = []() -> Task<int> { co_return 5; };
+  Task<int> a = make();
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move) — deliberate
+  EXPECT_TRUE(b.valid());
+  int out = 0;
+  auto root = [&]() -> Task<> { out = co_await std::move(b); };
+  Task<> t = root();
+  t.start();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(Task, DeepNestingDoesNotOverflowStack) {
+  // Symmetric transfer should keep resumption O(1) stack depth.
+  static constexpr int kDepth = 50'000;
+  std::function<Task<int>(int)> rec = [&](int n) -> Task<int> {
+    if (n == 0) co_return 0;
+    co_return 1 + co_await rec(n - 1);
+  };
+  int result = -1;
+  auto root = [&]() -> Task<> { result = co_await rec(kDepth); };
+  Task<> t = root();
+  t.start();
+  EXPECT_EQ(result, kDepth);
+}
+
+TEST(Task, MovedFromTaskAwaitsAsReady) {
+  auto make = []() -> Task<int> { co_return 1; };
+  Task<int> a = make();
+  Task<int> b = std::move(a);
+  EXPECT_TRUE(a.done());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+}
+
+}  // namespace
+}  // namespace nowlb::sim

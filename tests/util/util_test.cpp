@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nowlb {
+namespace {
+
+TEST(Check, PassesSilently) { NOWLB_CHECK(1 + 1 == 2); }
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    NOWLB_CHECK(false, "value=" << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value=42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.add(3.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.range_halfwidth(), 1.0);
+}
+
+TEST(Stats, EmptyAccumulatorIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row().cell("alpha").cell(3.14159, 2);
+  t.row().cell("b").cell(42LL);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvRoundtrip) {
+  Table t("demo");
+  t.header({"a", "b"});
+  t.row().cell(1LL).cell(2LL);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t("demo");
+  EXPECT_THROW(t.cell("x"), CheckFailure);
+}
+
+TEST(AsciiChart, RendersNonEmpty) {
+  std::vector<double> t{0, 1, 2, 3}, v{0, 1, 0, 1};
+  const std::string s = ascii_chart(t, v, 20, 5, "wave");
+  EXPECT_NE(s.find("wave"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--n=5", "--rate=2.5", "--verbose", "pos1"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("quiet", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+}
+
+}  // namespace
+}  // namespace nowlb
