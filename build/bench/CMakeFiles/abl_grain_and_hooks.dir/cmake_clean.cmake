@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grain_and_hooks.dir/abl_grain_and_hooks.cpp.o"
+  "CMakeFiles/abl_grain_and_hooks.dir/abl_grain_and_hooks.cpp.o.d"
+  "abl_grain_and_hooks"
+  "abl_grain_and_hooks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grain_and_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_grain_and_hooks.
+# This may be replaced when dependencies are built.

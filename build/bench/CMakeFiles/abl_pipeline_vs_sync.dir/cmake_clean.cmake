@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pipeline_vs_sync.dir/abl_pipeline_vs_sync.cpp.o"
+  "CMakeFiles/abl_pipeline_vs_sync.dir/abl_pipeline_vs_sync.cpp.o.d"
+  "abl_pipeline_vs_sync"
+  "abl_pipeline_vs_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipeline_vs_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

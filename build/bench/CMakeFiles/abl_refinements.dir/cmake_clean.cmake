@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_refinements.dir/abl_refinements.cpp.o"
+  "CMakeFiles/abl_refinements.dir/abl_refinements.cpp.o.d"
+  "abl_refinements"
+  "abl_refinements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_refinements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

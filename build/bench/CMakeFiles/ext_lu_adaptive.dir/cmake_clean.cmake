@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lu_adaptive.dir/ext_lu_adaptive.cpp.o"
+  "CMakeFiles/ext_lu_adaptive.dir/ext_lu_adaptive.cpp.o.d"
+  "ext_lu_adaptive"
+  "ext_lu_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lu_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

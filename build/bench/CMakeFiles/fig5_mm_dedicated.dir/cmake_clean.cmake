@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mm_dedicated.dir/fig5_mm_dedicated.cpp.o"
+  "CMakeFiles/fig5_mm_dedicated.dir/fig5_mm_dedicated.cpp.o.d"
+  "fig5_mm_dedicated"
+  "fig5_mm_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mm_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

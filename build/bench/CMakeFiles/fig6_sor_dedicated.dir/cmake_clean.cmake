@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sor_dedicated.dir/fig6_sor_dedicated.cpp.o"
+  "CMakeFiles/fig6_sor_dedicated.dir/fig6_sor_dedicated.cpp.o.d"
+  "fig6_sor_dedicated"
+  "fig6_sor_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sor_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mm_loaded.dir/fig7_mm_loaded.cpp.o"
+  "CMakeFiles/fig7_mm_loaded.dir/fig7_mm_loaded.cpp.o.d"
+  "fig7_mm_loaded"
+  "fig7_mm_loaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mm_loaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

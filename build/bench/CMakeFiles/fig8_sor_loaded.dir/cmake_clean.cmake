@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sor_loaded.dir/fig8_sor_loaded.cpp.o"
+  "CMakeFiles/fig8_sor_loaded.dir/fig8_sor_loaded.cpp.o.d"
+  "fig8_sor_loaded"
+  "fig8_sor_loaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sor_loaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_oscillating.dir/fig9_oscillating.cpp.o"
+  "CMakeFiles/fig9_oscillating.dir/fig9_oscillating.cpp.o.d"
+  "fig9_oscillating"
+  "fig9_oscillating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_oscillating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_app_properties.dir/tab1_app_properties.cpp.o"
+  "CMakeFiles/tab1_app_properties.dir/tab1_app_properties.cpp.o.d"
+  "tab1_app_properties"
+  "tab1_app_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_app_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

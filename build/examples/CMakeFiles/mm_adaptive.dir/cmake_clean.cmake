@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_adaptive.dir/mm_adaptive.cpp.o"
+  "CMakeFiles/mm_adaptive.dir/mm_adaptive.cpp.o.d"
+  "mm_adaptive"
+  "mm_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_pipeline.dir/sor_pipeline.cpp.o"
+  "CMakeFiles/sor_pipeline.dir/sor_pipeline.cpp.o.d"
+  "sor_pipeline"
+  "sor_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_apps.dir/lu.cpp.o"
+  "CMakeFiles/nowlb_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/nowlb_apps.dir/mm.cpp.o"
+  "CMakeFiles/nowlb_apps.dir/mm.cpp.o.d"
+  "CMakeFiles/nowlb_apps.dir/sor.cpp.o"
+  "CMakeFiles/nowlb_apps.dir/sor.cpp.o.d"
+  "libnowlb_apps.a"
+  "libnowlb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

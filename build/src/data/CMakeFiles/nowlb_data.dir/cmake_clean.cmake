@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_data.dir/slice.cpp.o"
+  "CMakeFiles/nowlb_data.dir/slice.cpp.o.d"
+  "libnowlb_data.a"
+  "libnowlb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

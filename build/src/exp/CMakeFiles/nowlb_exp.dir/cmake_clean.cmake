@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_exp.dir/harness.cpp.o"
+  "CMakeFiles/nowlb_exp.dir/harness.cpp.o.d"
+  "libnowlb_exp.a"
+  "libnowlb_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

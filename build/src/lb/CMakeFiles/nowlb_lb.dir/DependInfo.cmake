@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/allocate.cpp" "src/lb/CMakeFiles/nowlb_lb.dir/allocate.cpp.o" "gcc" "src/lb/CMakeFiles/nowlb_lb.dir/allocate.cpp.o.d"
+  "/root/repo/src/lb/cluster.cpp" "src/lb/CMakeFiles/nowlb_lb.dir/cluster.cpp.o" "gcc" "src/lb/CMakeFiles/nowlb_lb.dir/cluster.cpp.o.d"
+  "/root/repo/src/lb/master.cpp" "src/lb/CMakeFiles/nowlb_lb.dir/master.cpp.o" "gcc" "src/lb/CMakeFiles/nowlb_lb.dir/master.cpp.o.d"
+  "/root/repo/src/lb/plan.cpp" "src/lb/CMakeFiles/nowlb_lb.dir/plan.cpp.o" "gcc" "src/lb/CMakeFiles/nowlb_lb.dir/plan.cpp.o.d"
+  "/root/repo/src/lb/slave.cpp" "src/lb/CMakeFiles/nowlb_lb.dir/slave.cpp.o" "gcc" "src/lb/CMakeFiles/nowlb_lb.dir/slave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/nowlb_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nowlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nowlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_lb.dir/allocate.cpp.o"
+  "CMakeFiles/nowlb_lb.dir/allocate.cpp.o.d"
+  "CMakeFiles/nowlb_lb.dir/cluster.cpp.o"
+  "CMakeFiles/nowlb_lb.dir/cluster.cpp.o.d"
+  "CMakeFiles/nowlb_lb.dir/master.cpp.o"
+  "CMakeFiles/nowlb_lb.dir/master.cpp.o.d"
+  "CMakeFiles/nowlb_lb.dir/plan.cpp.o"
+  "CMakeFiles/nowlb_lb.dir/plan.cpp.o.d"
+  "CMakeFiles/nowlb_lb.dir/slave.cpp.o"
+  "CMakeFiles/nowlb_lb.dir/slave.cpp.o.d"
+  "libnowlb_lb.a"
+  "libnowlb_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

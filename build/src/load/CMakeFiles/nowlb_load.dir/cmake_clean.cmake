@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_load.dir/generators.cpp.o"
+  "CMakeFiles/nowlb_load.dir/generators.cpp.o.d"
+  "libnowlb_load.a"
+  "libnowlb_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loop/grain.cpp" "src/loop/CMakeFiles/nowlb_loop.dir/grain.cpp.o" "gcc" "src/loop/CMakeFiles/nowlb_loop.dir/grain.cpp.o.d"
+  "/root/repo/src/loop/hooks.cpp" "src/loop/CMakeFiles/nowlb_loop.dir/hooks.cpp.o" "gcc" "src/loop/CMakeFiles/nowlb_loop.dir/hooks.cpp.o.d"
+  "/root/repo/src/loop/spec.cpp" "src/loop/CMakeFiles/nowlb_loop.dir/spec.cpp.o" "gcc" "src/loop/CMakeFiles/nowlb_loop.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/nowlb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nowlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nowlb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/nowlb_msg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_loop.dir/grain.cpp.o"
+  "CMakeFiles/nowlb_loop.dir/grain.cpp.o.d"
+  "CMakeFiles/nowlb_loop.dir/hooks.cpp.o"
+  "CMakeFiles/nowlb_loop.dir/hooks.cpp.o.d"
+  "CMakeFiles/nowlb_loop.dir/spec.cpp.o"
+  "CMakeFiles/nowlb_loop.dir/spec.cpp.o.d"
+  "libnowlb_loop.a"
+  "libnowlb_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

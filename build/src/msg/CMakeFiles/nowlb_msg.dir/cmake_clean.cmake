@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_msg.dir/collectives.cpp.o"
+  "CMakeFiles/nowlb_msg.dir/collectives.cpp.o.d"
+  "libnowlb_msg.a"
+  "libnowlb_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_sim.dir/engine.cpp.o"
+  "CMakeFiles/nowlb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nowlb_sim.dir/host.cpp.o"
+  "CMakeFiles/nowlb_sim.dir/host.cpp.o.d"
+  "CMakeFiles/nowlb_sim.dir/mailbox.cpp.o"
+  "CMakeFiles/nowlb_sim.dir/mailbox.cpp.o.d"
+  "CMakeFiles/nowlb_sim.dir/network.cpp.o"
+  "CMakeFiles/nowlb_sim.dir/network.cpp.o.d"
+  "CMakeFiles/nowlb_sim.dir/world.cpp.o"
+  "CMakeFiles/nowlb_sim.dir/world.cpp.o.d"
+  "libnowlb_sim.a"
+  "libnowlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

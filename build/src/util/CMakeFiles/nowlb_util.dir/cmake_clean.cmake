@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_util.dir/cli.cpp.o"
+  "CMakeFiles/nowlb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/nowlb_util.dir/log.cpp.o"
+  "CMakeFiles/nowlb_util.dir/log.cpp.o.d"
+  "CMakeFiles/nowlb_util.dir/table.cpp.o"
+  "CMakeFiles/nowlb_util.dir/table.cpp.o.d"
+  "libnowlb_util.a"
+  "libnowlb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

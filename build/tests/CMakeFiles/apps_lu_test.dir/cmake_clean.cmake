@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_lu_test.dir/apps/lu_test.cpp.o"
+  "CMakeFiles/apps_lu_test.dir/apps/lu_test.cpp.o.d"
+  "apps_lu_test"
+  "apps_lu_test.pdb"
+  "apps_lu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_mm_test.dir/apps/mm_test.cpp.o"
+  "CMakeFiles/apps_mm_test.dir/apps/mm_test.cpp.o.d"
+  "apps_mm_test"
+  "apps_mm_test.pdb"
+  "apps_mm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_mm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_sor_test.dir/apps/sor_test.cpp.o"
+  "CMakeFiles/apps_sor_test.dir/apps/sor_test.cpp.o.d"
+  "apps_sor_test"
+  "apps_sor_test.pdb"
+  "apps_sor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_sor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

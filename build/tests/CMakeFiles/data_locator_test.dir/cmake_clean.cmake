@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_locator_test.dir/data/locator_test.cpp.o"
+  "CMakeFiles/data_locator_test.dir/data/locator_test.cpp.o.d"
+  "data_locator_test"
+  "data_locator_test.pdb"
+  "data_locator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_locator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_allocate_test.dir/lb/allocate_test.cpp.o"
+  "CMakeFiles/lb_allocate_test.dir/lb/allocate_test.cpp.o.d"
+  "lb_allocate_test"
+  "lb_allocate_test.pdb"
+  "lb_allocate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_allocate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

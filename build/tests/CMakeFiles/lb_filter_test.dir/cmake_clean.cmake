@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_filter_test.dir/lb/filter_test.cpp.o"
+  "CMakeFiles/lb_filter_test.dir/lb/filter_test.cpp.o.d"
+  "lb_filter_test"
+  "lb_filter_test.pdb"
+  "lb_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

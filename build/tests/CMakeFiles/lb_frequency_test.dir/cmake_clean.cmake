@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_frequency_test.dir/lb/frequency_test.cpp.o"
+  "CMakeFiles/lb_frequency_test.dir/lb/frequency_test.cpp.o.d"
+  "lb_frequency_test"
+  "lb_frequency_test.pdb"
+  "lb_frequency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

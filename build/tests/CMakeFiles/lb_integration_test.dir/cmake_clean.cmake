@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_integration_test.dir/lb/integration_test.cpp.o"
+  "CMakeFiles/lb_integration_test.dir/lb/integration_test.cpp.o.d"
+  "lb_integration_test"
+  "lb_integration_test.pdb"
+  "lb_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

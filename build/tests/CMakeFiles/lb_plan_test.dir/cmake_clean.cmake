@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_plan_test.dir/lb/plan_test.cpp.o"
+  "CMakeFiles/lb_plan_test.dir/lb/plan_test.cpp.o.d"
+  "lb_plan_test"
+  "lb_plan_test.pdb"
+  "lb_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

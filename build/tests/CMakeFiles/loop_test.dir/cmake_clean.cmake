@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_test.dir/loop/loop_test.cpp.o"
+  "CMakeFiles/loop_test.dir/loop/loop_test.cpp.o.d"
+  "loop_test"
+  "loop_test.pdb"
+  "loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_collectives_test.dir/msg/collectives_test.cpp.o"
+  "CMakeFiles/msg_collectives_test.dir/msg/collectives_test.cpp.o.d"
+  "msg_collectives_test"
+  "msg_collectives_test.pdb"
+  "msg_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_serialize_test.dir/msg/serialize_test.cpp.o"
+  "CMakeFiles/msg_serialize_test.dir/msg/serialize_test.cpp.o.d"
+  "msg_serialize_test"
+  "msg_serialize_test.pdb"
+  "msg_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_host_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_world_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_allocate_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_frequency_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_mm_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_sor_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_lu_test[1]_include.cmake")
+include("/root/repo/build/tests/loop_test[1]_include.cmake")
+include("/root/repo/build/tests/load_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/data_locator_test[1]_include.cmake")
