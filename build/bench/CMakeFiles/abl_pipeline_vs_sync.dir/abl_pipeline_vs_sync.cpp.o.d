@@ -253,9 +253,9 @@ bench/CMakeFiles/abl_pipeline_vs_sync.dir/abl_pipeline_vs_sync.cpp.o: \
  /root/repo/src/sim/task.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/rng.hpp \
  /root/repo/src/lb/slave.hpp /root/repo/src/sim/world.hpp \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hpp \
  /root/repo/src/loop/spec.hpp /root/repo/src/data/slice.hpp \
  /root/repo/src/apps/mm.hpp /root/repo/src/apps/sor.hpp \

@@ -183,10 +183,11 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/data/dist_array.hpp /root/repo/src/data/slice.hpp \
- /root/repo/src/util/check.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /root/repo/src/data/dist_array.hpp /root/repo/src/data/ownership.hpp \
+ /root/repo/src/data/slice.hpp /root/repo/src/util/check.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -257,5 +258,6 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /root/repo/src/sim/process.hpp /root/repo/src/sim/mailbox.hpp \
  /root/repo/src/sim/task.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/lb/slave.hpp /root/repo/src/sim/world.hpp \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/loop/spec.hpp
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/loop/spec.hpp

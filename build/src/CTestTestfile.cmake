@@ -12,4 +12,5 @@ subdirs("lb")
 subdirs("loop")
 subdirs("load")
 subdirs("apps")
+subdirs("check")
 subdirs("exp")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/fuzz_main.cpp" "src/check/CMakeFiles/nowlb-fuzz.dir/fuzz_main.cpp.o" "gcc" "src/check/CMakeFiles/nowlb-fuzz.dir/fuzz_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/nowlb_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nowlb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/nowlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/loop/CMakeFiles/nowlb_loop.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/nowlb_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/nowlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nowlb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/nowlb_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nowlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb-fuzz.dir/fuzz_main.cpp.o"
+  "CMakeFiles/nowlb-fuzz.dir/fuzz_main.cpp.o.d"
+  "nowlb-fuzz"
+  "nowlb-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

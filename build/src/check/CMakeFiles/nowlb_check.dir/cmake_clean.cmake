@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nowlb_check.dir/checkers.cpp.o"
+  "CMakeFiles/nowlb_check.dir/checkers.cpp.o.d"
+  "CMakeFiles/nowlb_check.dir/scenario.cpp.o"
+  "CMakeFiles/nowlb_check.dir/scenario.cpp.o.d"
+  "libnowlb_check.a"
+  "libnowlb_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nowlb_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnowlb_check.a"
+)

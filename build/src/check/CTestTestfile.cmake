@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/check
+# Build directory: /root/repo/build/src/check
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fuzz_smoke "/root/repo/build/src/check/nowlb-fuzz" "--seeds=50")
+set_tests_properties(fuzz_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/src/check/CMakeLists.txt;13;add_test;/root/repo/src/check/CMakeLists.txt;0;")

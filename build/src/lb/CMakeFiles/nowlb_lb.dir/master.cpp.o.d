@@ -253,9 +253,10 @@ src/lb/CMakeFiles/nowlb_lb.dir/master.cpp.o: /root/repo/src/lb/master.cpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/msg/channel.hpp /root/repo/src/sim/trace.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/check/invariant.hpp /root/repo/src/data/ownership.hpp \
+ /root/repo/src/data/slice.hpp /root/repo/src/msg/channel.hpp \
+ /root/repo/src/sim/trace.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hpp \
  /root/repo/src/util/log.hpp /usr/include/c++/12/iostream \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \

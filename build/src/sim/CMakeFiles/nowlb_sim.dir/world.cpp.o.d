@@ -218,9 +218,9 @@ src/sim/CMakeFiles/nowlb_sim.dir/world.cpp.o: \
  /root/repo/src/sim/mailbox.hpp /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

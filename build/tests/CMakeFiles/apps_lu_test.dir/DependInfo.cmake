@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/nowlb_check.dir/DependInfo.cmake"
   "/root/repo/build/src/exp/CMakeFiles/nowlb_exp.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/nowlb_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/load/CMakeFiles/nowlb_load.dir/DependInfo.cmake"

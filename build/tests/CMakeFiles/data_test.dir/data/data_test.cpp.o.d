@@ -298,5 +298,6 @@ tests/CMakeFiles/data_test.dir/data/data_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/slice.hpp /root/repo/src/util/check.hpp \
- /root/repo/src/data/dist_array.hpp /root/repo/src/msg/serialize.hpp \
- /usr/include/c++/12/cstring /root/repo/src/sim/message.hpp
+ /root/repo/src/data/dist_array.hpp /root/repo/src/data/ownership.hpp \
+ /root/repo/src/msg/serialize.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/sim/message.hpp

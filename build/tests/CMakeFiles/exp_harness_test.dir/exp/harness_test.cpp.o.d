@@ -332,7 +332,8 @@ tests/CMakeFiles/exp_harness_test.dir/exp/harness_test.cpp.o: \
  /root/repo/src/sim/process.hpp /root/repo/src/sim/mailbox.hpp \
  /root/repo/src/sim/task.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/lb/slave.hpp /root/repo/src/sim/world.hpp \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/loop/spec.hpp \
- /root/repo/src/data/slice.hpp /root/repo/src/apps/mm.hpp \
- /root/repo/src/apps/sor.hpp /root/repo/src/load/generators.hpp
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/loop/spec.hpp /root/repo/src/data/slice.hpp \
+ /root/repo/src/apps/mm.hpp /root/repo/src/apps/sor.hpp \
+ /root/repo/src/load/generators.hpp

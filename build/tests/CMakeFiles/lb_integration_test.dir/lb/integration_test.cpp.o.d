@@ -333,5 +333,5 @@ tests/CMakeFiles/lb_integration_test.dir/lb/integration_test.cpp.o: \
  /root/repo/src/sim/process.hpp /root/repo/src/sim/mailbox.hpp \
  /root/repo/src/sim/task.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/lb/slave.hpp /root/repo/src/sim/world.hpp \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/stats.hpp
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp

@@ -308,9 +308,9 @@ tests/CMakeFiles/loop_test.dir/loop/loop_test.cpp.o: \
  /root/repo/src/loop/hooks.hpp /root/repo/src/loop/spec.hpp \
  /root/repo/src/data/slice.hpp /root/repo/src/util/check.hpp \
  /root/repo/src/sim/world.hpp /root/repo/src/sim/network.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sim/observer.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

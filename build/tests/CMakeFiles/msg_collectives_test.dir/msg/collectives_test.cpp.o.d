@@ -304,9 +304,9 @@ tests/CMakeFiles/msg_collectives_test.dir/msg/collectives_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/msg/serialize.hpp /usr/include/c++/12/cstring \
  /root/repo/src/util/check.hpp /root/repo/src/sim/world.hpp \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

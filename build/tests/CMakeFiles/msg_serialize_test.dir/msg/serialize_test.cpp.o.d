@@ -294,4 +294,4 @@ tests/CMakeFiles/msg_serialize_test.dir/msg/serialize_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/lb/protocol.hpp
+ /root/repo/src/lb/protocol.hpp /root/repo/src/util/rng.hpp

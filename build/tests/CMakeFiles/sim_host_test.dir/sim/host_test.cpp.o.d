@@ -304,9 +304,9 @@ tests/CMakeFiles/sim_host_test.dir/sim/host_test.cpp.o: \
  /usr/include/c++/12/coroutine /root/repo/src/sim/message.hpp \
  /root/repo/src/sim/process.hpp /root/repo/src/sim/mailbox.hpp \
  /root/repo/src/sim/task.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/sim/network.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/network.hpp /root/repo/src/sim/observer.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -23,4 +23,5 @@ include("/root/repo/build/tests/apps_lu_test[1]_include.cmake")
 include("/root/repo/build/tests/loop_test[1]_include.cmake")
 include("/root/repo/build/tests/load_test[1]_include.cmake")
 include("/root/repo/build/tests/exp_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/check_test[1]_include.cmake")
 include("/root/repo/build/tests/data_locator_test[1]_include.cmake")

@@ -102,6 +102,7 @@ lb::ClusterConfig lu_cluster_config(const LuConfig& cfg, int slaves,
 void lu_build(lb::Cluster& cluster, const LuConfig& cfg,
               std::shared_ptr<LuShared> shared) {
   shared->units_by_rank.assign(cluster.slaves(), 0.0);
+  shared->probe.assign(cluster.slaves(), "start");
 
   cluster.spawn([cfg, shared](Context& ctx, int rank,
                               const lb::Cluster& c) -> Task<> {
@@ -111,6 +112,7 @@ void lu_build(lb::Cluster& cluster, const LuConfig& cfg,
     const auto block = BlockMap::even(n, R).range(rank);
     // Column marker = number of steps already applied to it.
     DistArray<double> cols(static_cast<std::size_t>(n));
+    cols.enable_ownership_checks(rank);
     for (SliceId j = block.begin; j < block.end; ++j) {
       cols.add(j, shared->a[static_cast<std::size_t>(j)]);
     }
@@ -203,12 +205,18 @@ void lu_build(lb::Cluster& cluster, const LuConfig& cfg,
         // Someone else owns column k (possibly after a recent transfer):
         // wait for the broadcast, pumping runtime messages meanwhile.
         while (pivots[static_cast<std::size_t>(k)].empty()) {
-          if (cols.owns(k) && cols.marker(k) == k) {
-            // Ownership arrived mid-wait; restart the step as owner.
+          if (cols.owns(k)) {
+            // Ownership arrived mid-wait — possibly lagging (the donor was
+            // behind step k). Restart the step as owner: the catch-up at
+            // the step top brings the column to marker == k first. Waiting
+            // on would deadlock: no one else can broadcast this pivot.
             break;
           }
+          shared->probe[rank] = "pivot k=" + std::to_string(k);
           const Time w0 = ctx.now();
           Message m = co_await ctx.recv(sim::kAnyTag, sim::kAnyPid);
+          shared->probe[rank] = "pivot-got k=" + std::to_string(k) +
+                                " tag=" + std::to_string(m.tag);
           if (agent) agent->note_blocked(ctx.now() - w0);
           if (m.tag == kTagPivot) {
             msg::Reader r(m.payload);
@@ -250,11 +258,18 @@ void lu_build(lb::Cluster& cluster, const LuConfig& cfg,
 
       // Hook at the end of each distributed-loop invocation (§4.2; §4.7's
       // frequency adaptation spaces the actual balances out in units).
-      if (agent) co_await agent->hook();
+      if (agent) {
+        shared->probe[rank] = "hook k=" + std::to_string(k);
+        co_await agent->hook();
+      }
     }
 
     k_now = n - 1;  // column n-1 needs no further work
-    if (agent) co_await agent->finalize();
+    if (agent) {
+      shared->probe[rank] = "finalize";
+      co_await agent->finalize();
+      shared->probe[rank] = "done";
+    }
 
     for (SliceId id : cols.owned_ids()) {
       shared->a[static_cast<std::size_t>(id)] = cols.slice(id);

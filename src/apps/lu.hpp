@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lb/cluster.hpp"
@@ -38,6 +39,8 @@ struct LuShared {
   std::vector<std::vector<double>> a;
   std::vector<int> final_owner;
   std::vector<double> units_by_rank;  // column-step updates per rank
+  /// Last blocking point per rank (debugging aid for protocol stalls).
+  std::vector<std::string> probe;
 };
 
 loop::LoopNestSpec lu_spec(const LuConfig& cfg);

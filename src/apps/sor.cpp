@@ -125,6 +125,7 @@ void sor_build(lb::Cluster& cluster, const SorConfig& cfg,
     // marker = strips completed in the current sweep (§4.5). ----
     const auto block = BlockMap::even(interior, R).range(rank);
     DistArray<double> cols(static_cast<std::size_t>(n));
+    cols.enable_ownership_checks(rank);
     for (SliceId b = block.begin; b < block.end; ++b) {
       const SliceId j = 1 + b;
       cols.add(j, shared->grid[static_cast<std::size_t>(j)]);
@@ -226,14 +227,25 @@ void sor_build(lb::Cluster& cluster, const SorConfig& cfg,
         left_ghost_marker = cols.marker(ids.back());
       }
       Bytes cols_payload = cols.pack_and_remove(ids);
-      const bool boundary = peer < rank && actual > 0;
+      const bool boundary = actual > 0;
       w.put<std::uint8_t>(boundary ? 1 : 0);
-      if (boundary) {
+      if (boundary && peer < rank) {
         // Receiver attaches these columns at its right edge and needs
         // previous-sweep values of our (new) first column as its right
         // ghost / catch-up source.
         const SliceId bnd = cols.owned_ids().front();
         w.put<std::int32_t>(bnd);
+        w.put_vec(cols.slice(bnd));
+      } else if (boundary && peer > rank) {
+        // Receiver attaches these columns at its left edge; for strips our
+        // (new) highest column has already covered this sweep it needs that
+        // column's values as left boundary — those segments went out as
+        // ghosts for a *different* column (whichever was highest at the
+        // time) and will never be re-sent, so ship a snapshot with its
+        // marker. Strips beyond the marker flow as ordinary ghosts.
+        const SliceId bnd = cols.owned_ids().back();
+        w.put<std::int32_t>(bnd);
+        w.put<std::int32_t>(cols.marker(bnd));
         w.put_vec(cols.slice(bnd));
       }
       w.put_bytes(cols_payload);
@@ -241,14 +253,16 @@ void sor_build(lb::Cluster& cluster, const SorConfig& cfg,
     };
     ops.unpack = [&, rank](const Bytes& payload, int peer) -> Task<int> {
       msg::Reader r(payload);
-      const bool boundary = r.get<std::uint8_t>() != 0;
-      // Non-empty transfers from the right carry the boundary snapshot;
+      // Non-empty transfers carry the donor's boundary-column snapshot;
       // clamped (empty) transfers carry nothing.
-      NOWLB_CHECK(!boundary || peer > rank,
-                  "boundary data direction mismatch");
-      if (boundary) {
+      const bool boundary = r.get<std::uint8_t>() != 0;
+      if (boundary && peer > rank) {
         right_ghost_id = r.get<std::int32_t>();
         right_ghost = r.get_vec<double>();
+      } else if (boundary && peer < rank) {
+        left_ghost_id = r.get<std::int32_t>();
+        left_ghost_marker = r.get<std::int32_t>();
+        left_ghost = r.get_vec<double>();
       }
       const auto ids = cols.unpack_and_add(r.get_bytes());
       if (!ids.empty()) {

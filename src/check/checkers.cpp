@@ -1,0 +1,266 @@
+#include "check/checkers.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+
+namespace nowlb::check {
+
+namespace {
+std::string edge(int from, int to) {
+  return std::to_string(from) + "->" + std::to_string(to);
+}
+}  // namespace
+
+// ------------------------------------------------- WorkConservationChecker
+
+void WorkConservationChecker::on_master_decision(
+    sim::Time t, const lb::Decision& d, const std::vector<int>& remaining) {
+  const int total = std::accumulate(remaining.begin(), remaining.end(), 0);
+  const int target_total =
+      std::accumulate(d.target.begin(), d.target.end(), 0);
+  if (target_total != total) {
+    fail(t, "plan redistributes " + std::to_string(target_total) +
+                " units of " + std::to_string(total));
+  }
+  for (std::size_t r = 0; r < d.target.size(); ++r) {
+    if (d.target[r] < 0) {
+      fail(t, "negative target " + std::to_string(d.target[r]) + " for rank " +
+                  std::to_string(r));
+    }
+  }
+  for (const lb::Transfer& tr : d.transfers) {
+    if (tr.count <= 0 || tr.from_rank == tr.to_rank) {
+      fail(t, "degenerate transfer " + edge(tr.from_rank, tr.to_rank) +
+                  " count=" + std::to_string(tr.count));
+    }
+  }
+}
+
+void WorkConservationChecker::on_slave_report(sim::Time t, int rank,
+                                              const lb::StatusReport& rep) {
+  if (rep.units_done < 0 || rep.elapsed_s < 0 || rep.remaining < 0 ||
+      rep.lb_blocked_s < 0 || rep.move_time_s < 0 || rep.moved_units < 0) {
+    fail(t, "rank " + std::to_string(rank) + " report r" +
+                std::to_string(rep.round) + " has a negative field");
+  }
+}
+
+void WorkConservationChecker::on_units_packed(sim::Time t, int from_rank,
+                                              int to_rank, int ordered,
+                                              int actual) {
+  if (actual < 0 || actual > ordered) {
+    fail(t, "pack " + edge(from_rank, to_rank) + " shipped " +
+                std::to_string(actual) + " of ordered " +
+                std::to_string(ordered));
+  }
+  in_flight_[{from_rank, to_rank}].push_back(actual);
+}
+
+void WorkConservationChecker::on_units_unpacked(sim::Time t, int rank,
+                                                int from_rank, int ordered,
+                                                int actual) {
+  if (actual > ordered) {
+    fail(t, "unpack " + edge(from_rank, rank) + " yielded " +
+                std::to_string(actual) + " of ordered " +
+                std::to_string(ordered));
+  }
+  auto& fifo = in_flight_[{from_rank, rank}];
+  if (fifo.empty()) {
+    fail(t, "unpack " + edge(from_rank, rank) + " of " +
+                std::to_string(actual) + " units with no matching pack");
+    return;
+  }
+  if (fifo.front() != actual) {
+    fail(t, "transfer " + edge(from_rank, rank) + " packed " +
+                std::to_string(fifo.front()) + " units but unpacked " +
+                std::to_string(actual));
+  }
+  fifo.erase(fifo.begin());
+}
+
+void WorkConservationChecker::on_run_end(sim::Time t) {
+  for (const auto& [key, fifo] : in_flight_) {
+    if (fifo.empty()) continue;
+    const int lost = std::accumulate(fifo.begin(), fifo.end(), 0);
+    fail(t, std::to_string(lost) + " units in " + std::to_string(fifo.size()) +
+                " transfer(s) " + edge(key.first, key.second) +
+                " never delivered");
+  }
+}
+
+// ------------------------------------------------------ ContiguityChecker
+
+void ContiguityChecker::on_master_decision(sim::Time t, const lb::Decision& d,
+                                           const std::vector<int>&) {
+  for (const lb::Transfer& tr : d.transfers) {
+    if (std::abs(tr.from_rank - tr.to_rank) != 1) {
+      fail(t, "non-adjacent transfer " + edge(tr.from_rank, tr.to_rank) +
+                  " in restricted mode");
+    }
+  }
+}
+
+void ContiguityChecker::on_units_packed(sim::Time t, int from_rank, int, int,
+                                        int) {
+  check_contiguous(t, from_rank, "after pack");
+}
+
+void ContiguityChecker::on_units_unpacked(sim::Time t, int rank, int, int,
+                                          int) {
+  check_contiguous(t, rank, "after unpack");
+}
+
+void ContiguityChecker::on_slice_added(sim::Time, int rank,
+                                       data::SliceId id) {
+  if (rank >= 0 && rank < static_cast<int>(sets_.size())) {
+    sets_[rank].insert(id);
+  }
+}
+
+void ContiguityChecker::on_slice_removed(sim::Time, int rank,
+                                         data::SliceId id) {
+  if (rank >= 0 && rank < static_cast<int>(sets_.size())) {
+    sets_[rank].erase(id);
+  }
+}
+
+void ContiguityChecker::on_run_end(sim::Time t) {
+  int prev_rank = -1;
+  data::SliceId prev_max = 0;
+  for (int r = 0; r < static_cast<int>(sets_.size()); ++r) {
+    check_contiguous(t, r, "at run end");
+    if (sets_[r].empty()) continue;
+    if (prev_rank >= 0 && *sets_[r].begin() <= prev_max) {
+      fail(t, "blocks out of rank order: rank " + std::to_string(prev_rank) +
+                  " holds up to " + std::to_string(prev_max) + ", rank " +
+                  std::to_string(r) + " starts at " +
+                  std::to_string(*sets_[r].begin()));
+    }
+    prev_rank = r;
+    prev_max = *sets_[r].rbegin();
+  }
+}
+
+void ContiguityChecker::check_contiguous(sim::Time t, int rank,
+                                         const char* when) {
+  const auto& s = sets_[rank];
+  if (s.empty()) return;
+  const auto span = *s.rbegin() - *s.begin() + 1;
+  if (span != static_cast<data::SliceId>(s.size())) {
+    fail(t, "rank " + std::to_string(rank) + " block non-contiguous " + when +
+                ": " + std::to_string(s.size()) + " slices span [" +
+                std::to_string(*s.begin()) + ", " +
+                std::to_string(*s.rbegin()) + "]");
+  }
+}
+
+// ----------------------------------------------------- PipelineLagChecker
+
+void PipelineLagChecker::on_master_reports(
+    sim::Time t, int round, const std::vector<lb::StatusReport>& reports,
+    const std::vector<bool>& mask) {
+  if (round != last_collected_ + 1) {
+    fail(t, "collected round " + std::to_string(round) + " after round " +
+                std::to_string(last_collected_));
+  }
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    if (mask[r] && reports[r].round != round) {
+      fail(t, "rank " + std::to_string(r) + " report labelled round " +
+                  std::to_string(reports[r].round) + " in collection " +
+                  std::to_string(round));
+    }
+  }
+  last_collected_ = round;
+}
+
+void PipelineLagChecker::on_master_instructions(sim::Time t, int rank,
+                                                const lb::Instructions& ins) {
+  if (ins.round != last_collected_ + lag_) {
+    fail(t, "instructions for rank " + std::to_string(rank) + " carry round " +
+                std::to_string(ins.round) + "; expected " +
+                std::to_string(last_collected_ + lag_) + " (last collection " +
+                std::to_string(last_collected_) + " + lag " +
+                std::to_string(lag_) + ")");
+  }
+}
+
+void PipelineLagChecker::on_slave_report(sim::Time t, int rank,
+                                         const lb::StatusReport& rep) {
+  const int prev = last_report_[rank];
+  if (rep.round != prev + 1) {
+    fail(t, "rank " + std::to_string(rank) + " reported round " +
+                std::to_string(rep.round) + " after round " +
+                std::to_string(prev));
+  }
+  last_report_[rank] = rep.round;
+}
+
+void PipelineLagChecker::on_slave_instructions(sim::Time t, int rank,
+                                               const lb::Instructions& ins) {
+  const int reported = last_report_[rank];
+  // A pre-sent pipelined instruction may run one round ahead of the
+  // slave's last report; anything else is stale or from the future.
+  if (ins.round != reported && ins.round != reported + 1) {
+    fail(t, "rank " + std::to_string(rank) + " applied instructions for round " +
+                std::to_string(ins.round) + " at report round " +
+                std::to_string(reported));
+  }
+}
+
+// -------------------------------------------------- SliceOwnershipChecker
+
+void SliceOwnershipChecker::on_slice_added(sim::Time t, int rank,
+                                           data::SliceId id) {
+  const auto [it, inserted] = owner_.emplace(id, rank);
+  if (!inserted) {
+    fail(t, "slice " + std::to_string(id) + " added to rank " +
+                std::to_string(rank) + " while owned by rank " +
+                std::to_string(it->second));
+    it->second = rank;
+  }
+  in_flight_.erase(id);
+}
+
+void SliceOwnershipChecker::on_slice_removed(sim::Time t, int rank,
+                                             data::SliceId id) {
+  const auto it = owner_.find(id);
+  if (it == owner_.end()) {
+    fail(t, "slice " + std::to_string(id) + " removed from rank " +
+                std::to_string(rank) + " but owned by no one");
+    return;
+  }
+  if (it->second != rank) {
+    fail(t, "slice " + std::to_string(id) + " removed from rank " +
+                std::to_string(rank) + " but owned by rank " +
+                std::to_string(it->second));
+  }
+  owner_.erase(it);
+  in_flight_.insert(id);
+}
+
+void SliceOwnershipChecker::on_run_end(sim::Time t) {
+  if (!in_flight_.empty()) {
+    fail(t, std::to_string(in_flight_.size()) +
+                " slice(s) still in flight at run end (first: " +
+                std::to_string(*in_flight_.begin()) + ")");
+  }
+  if (expected_total_ >= 0 &&
+      static_cast<int>(owner_.size()) != expected_total_) {
+    fail(t, "expected " + std::to_string(expected_total_) +
+                " owned slices at run end, found " +
+                std::to_string(owner_.size()));
+  }
+}
+
+// ------------------------------------------------------------------ wiring
+
+void add_standard_checkers(InvariantSet& set, int nslaves, int lag,
+                           bool restricted, int expected_slices) {
+  set.add(std::make_unique<WorkConservationChecker>());
+  set.add(std::make_unique<PipelineLagChecker>(lag));
+  set.add(std::make_unique<SliceOwnershipChecker>(expected_slices));
+  if (restricted) set.add(std::make_unique<ContiguityChecker>(nslaves));
+}
+
+}  // namespace nowlb::check

@@ -1,0 +1,121 @@
+// Concrete invariants over the load-balancing runtime. Each checker is
+// independent and purely observational; add the ones that apply to the
+// scenario's configuration to an InvariantSet (see scenario.cpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.hpp"
+
+namespace nowlb::check {
+
+/// Work conservation. Units leave a rank only by being packed onto the
+/// wire and enter only by being unpacked; every packed transfer must be
+/// unpacked by its destination with the exact same unit count (per-edge
+/// FIFO — the network preserves per-pair ordering), and no transfer may be
+/// in flight when the run ends. Also validates the master's plans (targets
+/// redistribute exactly the reported remaining work) and report sanity
+/// (no negative counts or durations).
+class WorkConservationChecker final : public Invariant {
+ public:
+  const char* name() const override { return "conservation"; }
+
+  void on_master_decision(sim::Time t, const lb::Decision& d,
+                          const std::vector<int>& remaining) override;
+  void on_slave_report(sim::Time t, int rank,
+                       const lb::StatusReport& rep) override;
+  void on_units_packed(sim::Time t, int from_rank, int to_rank, int ordered,
+                       int actual) override;
+  void on_units_unpacked(sim::Time t, int rank, int from_rank, int ordered,
+                         int actual) override;
+  void on_run_end(sim::Time t) override;
+
+ private:
+  // (from, to) -> FIFO of packed-but-not-yet-unpacked unit counts.
+  std::map<std::pair<int, int>, std::vector<int>> in_flight_;
+};
+
+/// Block-distribution contiguity (restricted / adjacent-shift mode only,
+/// Fig. 1b). Every planned transfer is between adjacent ranks; each rank's
+/// slice set is a contiguous index range at every stable point (after a
+/// complete pack or unpack — mid-unpack the set is legitimately gappy);
+/// and at run end the per-rank blocks are disjoint and ordered by rank.
+class ContiguityChecker final : public Invariant {
+ public:
+  explicit ContiguityChecker(int nslaves) : sets_(nslaves) {}
+  const char* name() const override { return "contiguity"; }
+
+  void on_master_decision(sim::Time t, const lb::Decision& d,
+                          const std::vector<int>& remaining) override;
+  void on_units_packed(sim::Time t, int from_rank, int to_rank, int ordered,
+                       int actual) override;
+  void on_units_unpacked(sim::Time t, int rank, int from_rank, int ordered,
+                         int actual) override;
+  void on_slice_added(sim::Time t, int rank, data::SliceId id) override;
+  void on_slice_removed(sim::Time t, int rank, data::SliceId id) override;
+  void on_run_end(sim::Time t) override;
+
+ private:
+  void check_contiguous(sim::Time t, int rank, const char* when);
+
+  std::vector<std::set<data::SliceId>> sets_;
+};
+
+/// Pipelining lag (Fig. 2). The master computes the instructions for round
+/// r + lag from round r's reports: lag is 1 in pipelined phase mode and 0
+/// in synchronous or done-flag (reply-style) mode. On the slave side an
+/// applied instruction's round is the slave's last report round, or one
+/// ahead of it (a pre-sent pipelined instruction caught by a wildcard
+/// receive) — never stale, never further ahead.
+class PipelineLagChecker final : public Invariant {
+ public:
+  explicit PipelineLagChecker(int lag) : lag_(lag) {}
+  const char* name() const override { return "pipeline"; }
+
+  void on_master_reports(sim::Time t, int round,
+                         const std::vector<lb::StatusReport>& reports,
+                         const std::vector<bool>& mask) override;
+  void on_master_instructions(sim::Time t, int rank,
+                              const lb::Instructions& ins) override;
+  void on_slave_report(sim::Time t, int rank,
+                       const lb::StatusReport& rep) override;
+  void on_slave_instructions(sim::Time t, int rank,
+                             const lb::Instructions& ins) override;
+
+ private:
+  int lag_;
+  int last_collected_ = 0;
+  std::map<int, int> last_report_;  // rank -> round of last report sent
+};
+
+/// No-duplicate / no-lost slice ownership — the property the locator
+/// protocol (§4.6) silently depends on. Every slice id is held by exactly
+/// one rank or is in flight between two; at run end nothing is in flight
+/// and (when the scenario knows the total) every slice is accounted for.
+class SliceOwnershipChecker final : public Invariant {
+ public:
+  /// `expected_total` < 0 disables the end-of-run coverage check.
+  explicit SliceOwnershipChecker(int expected_total = -1)
+      : expected_total_(expected_total) {}
+  const char* name() const override { return "ownership"; }
+
+  void on_slice_added(sim::Time t, int rank, data::SliceId id) override;
+  void on_slice_removed(sim::Time t, int rank, data::SliceId id) override;
+  void on_run_end(sim::Time t) override;
+
+ private:
+  int expected_total_;
+  std::map<data::SliceId, int> owner_;   // id -> holding rank
+  std::set<data::SliceId> in_flight_;    // removed, not yet re-added
+};
+
+/// The full checker complement for a scenario: conservation + pipeline lag
+/// + ownership always; contiguity only in restricted-movement mode.
+void add_standard_checkers(InvariantSet& set, int nslaves, int lag,
+                           bool restricted, int expected_slices);
+
+}  // namespace nowlb::check

@@ -1,0 +1,66 @@
+// Seeded scenario generation and execution for the simulation fuzzer.
+//
+// One seed deterministically fixes everything about a run — slave count,
+// problem size, heterogeneous message costs, competing-load placement,
+// balancing configuration, termination mode — so any failure is replayed
+// exactly by re-running the seed. run_scenario() executes the scenario
+// with the full invariant complement attached plus a watchdog time bound,
+// then cross-checks the numerical result against the sequential oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/lu.hpp"
+#include "apps/mm.hpp"
+#include "apps/sor.hpp"
+#include "check/invariant.hpp"
+#include "sim/config.hpp"
+
+namespace nowlb::check {
+
+enum class App { kMm, kSor, kLu };
+
+const char* app_name(App app);
+
+/// Everything a run needs, derived deterministically from (seed, app).
+struct Scenario {
+  std::uint64_t seed = 0;
+  App app = App::kMm;
+
+  int slaves = 1;
+  sim::WorldConfig world;
+  lb::LbConfig lb;
+  apps::MmConfig mm;
+  apps::SorConfig sor;
+  apps::LuConfig lu;
+
+  /// Competing-load generator per rank: 0 none, 1 constant, 2 oscillating,
+  /// 3 ramp, 4 random bursts.
+  std::vector<int> loads;
+  /// Oscillating-load period (also scales ramp/burst durations).
+  sim::Time load_period = 0;
+
+  /// Watchdog: the run must terminate within this much virtual time.
+  sim::Time time_bound = 0;
+
+  /// One-line human-readable summary for failure output.
+  std::string describe() const;
+};
+
+Scenario generate_scenario(std::uint64_t seed, App app);
+
+struct FuzzResult {
+  bool ok = true;
+  std::vector<Failure> failures;
+  double elapsed_s = 0;          // virtual time at run end
+  std::uint64_t trace_hash = 0;  // engine event-trace hash (determinism)
+};
+
+/// Execute the scenario under all applicable checkers. `fault` corrupts
+/// the observation stream (never the simulated system) to exercise the
+/// failure path.
+FuzzResult run_scenario(const Scenario& sc,
+                        InvariantSet::Fault fault = InvariantSet::Fault::kNone);
+
+}  // namespace nowlb::check

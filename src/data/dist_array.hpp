@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "data/ownership.hpp"
 #include "data/slice.hpp"
 #include "msg/serialize.hpp"
 #include "util/check.hpp"
@@ -26,6 +27,11 @@ class DistArray {
 
   std::size_t slice_len() const { return slice_len_; }
 
+  /// Tag this array with its owner's rank so slice add/remove events reach
+  /// the active ownership ledger (src/check). Untagged arrays (ghost
+  /// buffers, scratch copies) stay invisible to the checkers.
+  void enable_ownership_checks(int rank) { check_rank_ = rank; }
+
   bool owns(SliceId s) const { return slices_.count(s) > 0; }
   int owned_count() const { return static_cast<int>(slices_.size()); }
 
@@ -38,6 +44,11 @@ class DistArray {
         slices_.emplace(id, Slice{std::move(contents), marker});
     NOWLB_CHECK(inserted, "slice " << id << " already present");
     (void)it;
+    if (check_rank_ >= 0) {
+      if (SliceLedger* ledger = active_slice_ledger()) {
+        ledger->on_slice_added(check_rank_, id);
+      }
+    }
   }
 
   /// Remove a slice and return its contents (used when sending work away).
@@ -46,6 +57,11 @@ class DistArray {
     NOWLB_CHECK(it != slices_.end(), "slice " << id << " not present");
     auto result = std::make_pair(std::move(it->second.data), it->second.marker);
     slices_.erase(it);
+    if (check_rank_ >= 0) {
+      if (SliceLedger* ledger = active_slice_ledger()) {
+        ledger->on_slice_removed(check_rank_, id);
+      }
+    }
     return result;
   }
 
@@ -116,6 +132,7 @@ class DistArray {
   };
 
   std::size_t slice_len_;
+  int check_rank_ = -1;  // < 0: ownership events not reported
   std::map<SliceId, Slice> slices_;  // ordered for deterministic iteration
 };
 

@@ -45,9 +45,22 @@ std::vector<int> proportional_allocation(const std::vector<double>& rates,
               return a.first != b.first ? a.first > b.first
                                         : a.second < b.second;
             });
-  for (int leftover = total - assigned; leftover > 0; --leftover) {
-    out[remainders[static_cast<std::size_t>(total - assigned - leftover)]
-            .second] += 1;
+  int leftover = total - assigned;
+  // The shares are floating-point quotients: once total is large enough
+  // that an ulp of a share exceeds 1, a share can land just above its
+  // exact integer value and the floors then oversubscribe the total.
+  // Reclaim from the smallest remainders (never below zero).
+  for (std::size_t i = n; leftover < 0 && i-- > 0;) {
+    const std::size_t rank = remainders[i].second;
+    if (out[rank] > 0) {
+      --out[rank];
+      ++leftover;
+    }
+  }
+  for (int i = 0; i < leftover; ++i) {
+    // Wrap around defensively: accumulated downward error on a huge total
+    // can leave more leftover units than ranks.
+    out[remainders[static_cast<std::size_t>(i) % n].second] += 1;
   }
   NOWLB_CHECK(std::accumulate(out.begin(), out.end(), 0) == total,
               "allocation lost work units");

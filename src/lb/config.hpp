@@ -7,6 +7,10 @@
 
 #include "sim/time.hpp"
 
+namespace nowlb::check {
+class InvariantSet;
+}
+
 namespace nowlb::lb {
 
 using sim::Time;
@@ -72,6 +76,11 @@ struct LbConfig {
 
   /// Record per-slave rate/assignment series into the world recorder.
   bool trace = false;
+
+  /// Optional runtime invariant checkers (src/check). Master and slaves
+  /// report every protocol event to it; null disables all checking. Not
+  /// owned; must outlive the run.
+  check::InvariantSet* check = nullptr;
 };
 
 }  // namespace nowlb::lb

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <string>
 
+#include "check/invariant.hpp"
 #include "msg/channel.hpp"
 #include "sim/trace.hpp"
 #include "util/check.hpp"
@@ -70,6 +71,9 @@ Task<> Master::run_phase() {
       ins.units_until_next = rates_[r] > 0
                                  ? freq_.units_for_period(rates_[r])
                                  : initial_window_units(r);
+      if (cfg_.lb.check != nullptr) {
+        cfg_.lb.check->on_master_instructions(ctx_.now(), r, ins);
+      }
       co_await msg::send(ctx_, cfg_.slaves[r], kTagInstr, ins);
     }
   }
@@ -166,6 +170,9 @@ Decision Master::make_decision(const std::vector<int>& remaining) {
     }
     rec.record("lb.period_s", now, stats_.last_period_s);
   }
+  if (cfg_.lb.check != nullptr) {
+    cfg_.lb.check->on_master_decision(ctx_.now(), d, remaining);
+  }
   return d;
 }
 
@@ -211,6 +218,9 @@ Task<std::vector<StatusReport>> Master::collect_reports(
     seen[rank] = true;
     reports[rank] = rep;
     ++have;
+  }
+  if (cfg_.lb.check != nullptr) {
+    cfg_.lb.check->on_master_reports(ctx_.now(), round, reports, expected);
   }
   co_return reports;
 }
@@ -302,6 +312,9 @@ Task<> Master::send_instructions(int round, bool phase_done,
     ins.units_until_next = rates[r] > 0 ? freq_.units_for_period(rates[r])
                                         : initial_window_units(r);
     ins.orders = std::move(orders[r]);
+    if (cfg_.lb.check != nullptr) {
+      cfg_.lb.check->on_master_instructions(ctx_.now(), r, ins);
+    }
     co_await msg::send(ctx_, cfg_.slaves[r], kTagInstr, ins);
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hpp"
 #include "msg/channel.hpp"
 #include "sim/world.hpp"
 #include "util/check.hpp"
@@ -63,6 +64,9 @@ Task<> SlaveAgent::send_report() {
                          << rep.elapsed_s << " blocked="
                          << to_seconds(window_blocked) << " remaining="
                          << rep.remaining;
+  if (lb_.check != nullptr) {
+    lb_.check->on_slave_report(ctx_.now(), rank_, rep);
+  }
   co_await msg::send(ctx_, master_, kTagReport, rep);
 
   awaiting_instr_ = true;
@@ -88,6 +92,9 @@ Task<> SlaveAgent::handle_instr(const Instructions& ins) {
 }
 
 Task<> SlaveAgent::apply_instr_body(const Instructions& ins) {
+  if (lb_.check != nullptr) {
+    lb_.check->on_slave_instructions(ctx_.now(), rank_, ins);
+  }
   if (!ins.orders.empty()) {
     co_await apply_moves(ins.orders);
   }
@@ -131,6 +138,10 @@ Task<> SlaveAgent::hook() {
 }
 
 Task<> SlaveAgent::drain() {
+  // The phase can end inside hook() (a synchronous balance on the phase's
+  // last unit gets phase_done as its reply); a report sent past that point
+  // would never be answered.
+  if (phase_done_) co_return;
   // Out of local work. Incoming transfers are the most likely source of
   // more; block on those first.
   if (!pending_recvs_.empty()) {
@@ -173,6 +184,10 @@ Task<> SlaveAgent::integrate_move(const MoveOrder& order, sim::Message m) {
   const Time t0 = ctx_.now();
   co_await ctx_.compute(ctx_.world().config().msg.recv_overhead);
   const int actual = co_await ops_.unpack(m.payload, order.peer_rank);
+  if (lb_.check != nullptr) {
+    lb_.check->on_units_unpacked(ctx_.now(), rank_, order.peer_rank,
+                                 order.count, actual);
+  }
   moved_units_accum_ += actual;
   units_received_ += actual;
   move_time_accum_ += ctx_.now() - t0;
@@ -310,6 +325,10 @@ Task<> SlaveAgent::apply_moves(const std::vector<MoveOrder>& orders) {
       const int want = std::min(o.count, ops_.remaining());
       auto [payload, actual] = co_await ops_.pack(want, o.peer_rank);
       NOWLB_CHECK(actual <= o.count);
+      if (lb_.check != nullptr) {
+        lb_.check->on_units_packed(ctx_.now(), rank_, o.peer_rank, o.count,
+                                   actual);
+      }
       moved_units_accum_ += actual;
       units_sent_ += actual;
       NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " sends " << actual

@@ -38,6 +38,9 @@ bool Engine::step() {
     NOWLB_CHECK(ev.t >= now_, "event queue time went backwards");
     now_ = ev.t;
     ++dispatched_;
+    trace_hash_ = (trace_hash_ ^ static_cast<std::uint64_t>(ev.t)) *
+                  0x100000001b3ull;
+    trace_hash_ = (trace_hash_ ^ ev.seq) * 0x100000001b3ull;
     ev.cb();
     return true;
   }

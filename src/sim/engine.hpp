@@ -53,6 +53,11 @@ class Engine {
   std::size_t pending_events() const { return live_events_; }
   std::uint64_t dispatched_events() const { return dispatched_; }
 
+  /// Rolling hash over the (time, sequence) pair of every dispatched event.
+  /// Two runs of the same seeded simulation must produce identical hashes;
+  /// any divergence is a determinism bug (or a perturbing observer).
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
  private:
   struct Ev {
     Time t;
@@ -72,6 +77,7 @@ class Engine {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis
   std::size_t live_events_ = 0;
   bool stopped_ = false;
   std::exception_ptr error_;

@@ -1,0 +1,28 @@
+// WorldObserver: passive taps on simulation lifecycle events.
+//
+// Observers are called synchronously at zero virtual cost, so attaching one
+// never perturbs timing — the property the runtime invariant layer
+// (src/check) depends on: a run with checkers enabled must dispatch the
+// exact same event sequence as one without.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace nowlb::sim {
+
+class Process;
+
+class WorldObserver {
+ public:
+  virtual ~WorldObserver() = default;
+
+  /// A process was created (fires from World::spawn, before it runs).
+  virtual void on_spawn(Time /*t*/, const Process& /*p*/) {}
+
+  /// A process body completed (success or failure).
+  virtual void on_process_done(Time /*t*/, const Process& /*p*/) {}
+};
+
+}  // namespace nowlb::sim

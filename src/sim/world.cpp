@@ -100,6 +100,7 @@ Pid World::spawn(Host& host, std::string name, ProcessBody body,
   Process* raw = proc.get();
   processes_.push_back(std::move(proc));
   engine_.schedule_at(engine_.now(), [raw] { raw->start(); });
+  for (WorldObserver* o : observers_) o->on_spawn(engine_.now(), *raw);
   return pid;
 }
 
@@ -109,6 +110,7 @@ Time World::cpu_used(Pid pid) const {
 }
 
 void World::on_process_done(Process& p) {
+  for (WorldObserver* o : observers_) o->on_process_done(engine_.now(), p);
   if (p.error()) {
     NOWLB_LOG(Error, "sim") << "process " << p.name() << " failed";
     engine_.fail(p.error());

@@ -22,6 +22,7 @@
 #include "sim/engine.hpp"
 #include "sim/host.hpp"
 #include "sim/network.hpp"
+#include "sim/observer.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
@@ -73,6 +74,14 @@ class World {
   /// Fresh RNG stream derived from the world seed.
   Rng fork_rng() { return rng_.fork(); }
 
+  /// Attach a passive observer (not owned; must outlive the world). Called
+  /// synchronously at zero virtual cost, so observers never perturb timing.
+  void add_observer(WorldObserver* o) { observers_.push_back(o); }
+
+  /// Essential processes that have not finished yet. Nonzero after a
+  /// bounded run means the simulation failed to terminate in time.
+  std::size_t essential_remaining() const { return essential_outstanding_; }
+
   // Internal: called by Process when its body completes.
   void on_process_done(Process& p);
 
@@ -84,6 +93,7 @@ class World {
   Rng rng_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<WorldObserver*> observers_;
   std::size_t essential_outstanding_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "util/check.hpp"
@@ -84,6 +85,48 @@ TEST_P(AllocateProperty, RandomizedInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocateProperty, ::testing::Values(1, 2, 3));
+
+TEST(Allocate, SlaveCountSweepConservesTotal) {
+  // Every cluster size the balancer can see: heterogeneous rates whose
+  // shares rarely divide evenly, several totals per size. The reassigned
+  // counts must sum exactly to the total every time.
+  Rng rng(7);
+  for (int n = 1; n <= 64; ++n) {
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      rates[i] = 0.1 + static_cast<double>(i % 7) * 0.3 + rng.next_double();
+    }
+    for (int total : {0, 1, n - 1, n, n + 1, 7 * n + 3, 1000}) {
+      if (total < 0) continue;
+      auto a = proportional_allocation(rates, total);
+      ASSERT_EQ(static_cast<int>(a.size()), n);
+      EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), total)
+          << "n=" << n << " total=" << total;
+      for (int v : a) EXPECT_GE(v, 0);
+    }
+  }
+}
+
+TEST(Allocate, HugeTotalSurvivesFloatRounding) {
+  // At totals near 2^53 an ulp of a share exceeds one unit, so the floored
+  // shares can over- or under-shoot; the reclaim/wrap paths must still
+  // conserve the total exactly.
+  Rng rng(11);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int n = 1 + static_cast<int>(rng.below(16));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (auto& r : rates) r = rng.next_double() + 1e-3;
+    const int total =
+        std::numeric_limits<int>::max() - static_cast<int>(rng.below(1000));
+    auto a = proportional_allocation(rates, total);
+    long long sum = 0;
+    for (int v : a) {
+      EXPECT_GE(v, 0);
+      sum += v;
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
 
 TEST(ProjectedTime, MaxOverSlaves) {
   EXPECT_DOUBLE_EQ(projected_time({10, 20}, {1.0, 4.0}), 10.0);

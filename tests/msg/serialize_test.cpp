@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "lb/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace nowlb::msg {
 namespace {
+
+using nowlb::Rng;
 
 TEST(Serialize, PodRoundtrip) {
   Writer w;
@@ -107,6 +112,104 @@ TEST(Serialize, InstructionsRoundtrip) {
   EXPECT_EQ(out.orders[0].is_send, 1);
   EXPECT_EQ(out.orders[1].peer_rank, 0);
   EXPECT_EQ(out.orders[1].is_send, 0);
+}
+
+// ---- randomized round-trip properties over every protocol message ----
+
+double random_double(Rng& rng) {
+  // Mix ordinary magnitudes with exact-bit-pattern extremes (the wire
+  // format must preserve doubles bit-for-bit, not just approximately).
+  switch (rng.below(4)) {
+    case 0:
+      return rng.uniform(-1e6, 1e6);
+    case 1:
+      return rng.uniform(-1e-300, 1e-300);  // subnormal territory
+    case 2:
+      return std::numeric_limits<double>::max() * rng.uniform(-1.0, 1.0);
+    default:
+      return static_cast<double>(rng.next_u64()) * 1e-3;
+  }
+}
+
+std::int32_t random_i32(Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      return static_cast<std::int32_t>(rng.below(1000));
+    case 1:
+      return std::numeric_limits<std::int32_t>::max() -
+             static_cast<std::int32_t>(rng.below(2));
+    default:
+      return std::numeric_limits<std::int32_t>::min() +
+             static_cast<std::int32_t>(rng.below(2));
+  }
+}
+
+TEST(Serialize, StatusReportRandomizedRoundtrip) {
+  Rng rng(101);
+  for (int iter = 0; iter < 500; ++iter) {
+    lb::StatusReport s;
+    s.round = random_i32(rng);
+    s.units_done = random_double(rng);
+    s.elapsed_s = random_double(rng);
+    s.remaining = random_i32(rng);
+    s.lb_blocked_s = random_double(rng);
+    s.move_time_s = random_double(rng);
+    s.moved_units = random_i32(rng);
+    s.done = static_cast<std::uint8_t>(rng.below(256));
+    const auto out = decode<lb::StatusReport>(encode(s));
+    EXPECT_EQ(out.round, s.round);
+    EXPECT_EQ(out.units_done, s.units_done);
+    EXPECT_EQ(out.elapsed_s, s.elapsed_s);
+    EXPECT_EQ(out.remaining, s.remaining);
+    EXPECT_EQ(out.lb_blocked_s, s.lb_blocked_s);
+    EXPECT_EQ(out.move_time_s, s.move_time_s);
+    EXPECT_EQ(out.moved_units, s.moved_units);
+    EXPECT_EQ(out.done, s.done);
+  }
+}
+
+TEST(Serialize, MoveOrderRandomizedRoundtrip) {
+  Rng rng(102);
+  for (int iter = 0; iter < 500; ++iter) {
+    lb::MoveOrder m;
+    m.peer_rank = random_i32(rng);
+    m.count = random_i32(rng);
+    m.is_send = static_cast<std::uint8_t>(rng.below(256));
+    Writer w;
+    m.encode(w);
+    const Bytes b = w.take();
+    Reader r(b);
+    const auto out = lb::MoveOrder::decode(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(out.peer_rank, m.peer_rank);
+    EXPECT_EQ(out.count, m.count);
+    EXPECT_EQ(out.is_send, m.is_send);
+  }
+}
+
+TEST(Serialize, InstructionsRandomizedRoundtrip) {
+  Rng rng(103);
+  for (int iter = 0; iter < 300; ++iter) {
+    lb::Instructions ins;
+    ins.round = random_i32(rng);
+    ins.phase_done = static_cast<std::uint8_t>(rng.below(2));
+    ins.units_until_next = random_double(rng);
+    const int norders = static_cast<int>(rng.below(17));  // includes empty
+    for (int i = 0; i < norders; ++i) {
+      ins.orders.push_back({random_i32(rng), random_i32(rng),
+                            static_cast<std::uint8_t>(rng.below(2))});
+    }
+    const auto out = decode<lb::Instructions>(encode(ins));
+    EXPECT_EQ(out.round, ins.round);
+    EXPECT_EQ(out.phase_done, ins.phase_done);
+    EXPECT_EQ(out.units_until_next, ins.units_until_next);
+    ASSERT_EQ(out.orders.size(), ins.orders.size());
+    for (std::size_t i = 0; i < ins.orders.size(); ++i) {
+      EXPECT_EQ(out.orders[i].peer_rank, ins.orders[i].peer_rank);
+      EXPECT_EQ(out.orders[i].count, ins.orders[i].count);
+      EXPECT_EQ(out.orders[i].is_send, ins.orders[i].is_send);
+    }
+  }
 }
 
 }  // namespace
