@@ -80,6 +80,8 @@ lb::ClusterConfig mm_cluster_config(const MmConfig& cfg, int slaves,
   cc.lb.movement = lb::Movement::kUnrestricted;  // no carried dependences
   cc.initial_counts = BlockMap::even(cfg.n, slaves).counts();
   cc.use_master = cfg.use_lb;
+  cc.unit_ids_begin = 0;  // work unit j = column j of B/C
+  cc.unit_ids_end = cfg.n;
   return cc;
 }
 
@@ -139,6 +141,9 @@ void mm_build(lb::Cluster& cluster, const MmConfig& cfg,
 
     // Per-phase work list: columns still to compute in this invocation.
     IndexSet todo;
+    // Hoisted so the fault-recovery adopt op (which captures by reference)
+    // knows the current invocation.
+    int phase = 0;
 
     lb::SlaveAgent::WorkOps ops;
     ops.remaining = [&todo] { return todo.size(); };
@@ -153,10 +158,30 @@ void mm_build(lb::Cluster& cluster, const MmConfig& cfg,
       for (SliceId j : ids) todo.insert(j);
       co_return static_cast<int>(ids.size());
     };
+    ops.inventory = [&] {
+      const auto ids = local_b.owned_ids();
+      return std::vector<std::int32_t>(ids.begin(), ids.end());
+    };
+    ops.adopt = [&](const std::vector<std::int32_t>& ids) -> Task<> {
+      // Reconstruct orphaned columns from the replicated input B (a real
+      // generated program would reload or recompute them the same way) and
+      // redo whatever the dead rank had not finished this invocation:
+      // compute_column's count increment is atomic with its output write,
+      // so a column is either fully done (count == phase + 1) or must be
+      // recomputed.
+      for (const std::int32_t j : ids) {
+        local_b.add(j, shared->b[static_cast<std::size_t>(j)]);
+        if (shared->compute_count_per_column[static_cast<std::size_t>(j)] <
+            phase + 1) {
+          todo.insert(j);
+        }
+      }
+      co_return;
+    };
 
     lb::SlaveAgent agent = c.make_agent(ctx, rank, std::move(ops));
 
-    for (int phase = 0; phase < cfg.repeats; ++phase) {
+    for (phase = 0; phase < cfg.repeats; ++phase) {
       // New invocation: every owned column is pending again.
       for (SliceId j : local_b.owned_ids()) todo.insert(j);
       agent.begin_phase();

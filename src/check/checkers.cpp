@@ -4,6 +4,8 @@
 #include <numeric>
 #include <string>
 
+#include "sim/world.hpp"
+
 namespace nowlb::check {
 
 namespace {
@@ -79,9 +81,17 @@ void WorkConservationChecker::on_units_unpacked(sim::Time t, int rank,
   fifo.erase(fifo.begin());
 }
 
+void WorkConservationChecker::on_rank_evicted(sim::Time, int rank, sim::Pid) {
+  dead_.insert(rank);
+}
+
 void WorkConservationChecker::on_run_end(sim::Time t) {
   for (const auto& [key, fifo] : in_flight_) {
     if (fifo.empty()) continue;
+    // A transfer to or from an evicted rank legitimately dies on the wire;
+    // its units re-enter via the orphan census (checked by EvictionChecker
+    // and the ownership coverage check), not via unpack.
+    if (dead_.count(key.first) != 0 || dead_.count(key.second) != 0) continue;
     const int lost = std::accumulate(fifo.begin(), fifo.end(), 0);
     fail(t, std::to_string(lost) + " units in " + std::to_string(fifo.size()) +
                 " transfer(s) " + edge(key.first, key.second) +
@@ -214,9 +224,13 @@ void SliceOwnershipChecker::on_slice_added(sim::Time t, int rank,
                                            data::SliceId id) {
   const auto [it, inserted] = owner_.emplace(id, rank);
   if (!inserted) {
-    fail(t, "slice " + std::to_string(id) + " added to rank " +
-                std::to_string(rank) + " while owned by rank " +
-                std::to_string(it->second));
+    // Re-adding a dead rank's slice is adoption: the orphan is
+    // reconstructed by its recovery assignee and ownership transfers.
+    if (dead_.count(it->second) == 0) {
+      fail(t, "slice " + std::to_string(id) + " added to rank " +
+                  std::to_string(rank) + " while owned by rank " +
+                  std::to_string(it->second));
+    }
     it->second = rank;
   }
   in_flight_.erase(id);
@@ -239,6 +253,10 @@ void SliceOwnershipChecker::on_slice_removed(sim::Time t, int rank,
   in_flight_.insert(id);
 }
 
+void SliceOwnershipChecker::on_rank_evicted(sim::Time, int rank, sim::Pid) {
+  dead_.insert(rank);
+}
+
 void SliceOwnershipChecker::on_run_end(sim::Time t) {
   if (!in_flight_.empty()) {
     fail(t, std::to_string(in_flight_.size()) +
@@ -253,6 +271,87 @@ void SliceOwnershipChecker::on_run_end(sim::Time t) {
   }
 }
 
+// --------------------------------------------------------- EvictionChecker
+
+void EvictionChecker::on_rank_evicted(sim::Time t, int rank, sim::Pid) {
+  if (!dead_.insert(rank).second) {
+    fail(t, "rank " + std::to_string(rank) + " evicted twice");
+  }
+}
+
+void EvictionChecker::on_orphans_assigned(sim::Time t, int rank,
+                                          const std::vector<int>& ids) {
+  if (dead_.count(rank) != 0) {
+    fail(t, "orphans assigned to evicted rank " + std::to_string(rank));
+  }
+  for (int id : ids) {
+    const auto it = pending_.find(id);
+    if (it != pending_.end() && dead_.count(it->second) == 0) {
+      fail(t, "orphan " + std::to_string(id) + " assigned to rank " +
+                  std::to_string(rank) + " while still assigned to live rank " +
+                  std::to_string(it->second));
+    }
+    pending_[id] = rank;
+  }
+}
+
+void EvictionChecker::on_adopted(sim::Time t, int rank,
+                                 const std::vector<int>& ids) {
+  for (int id : ids) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      fail(t, "rank " + std::to_string(rank) + " adopted unit " +
+                  std::to_string(id) + " it was never assigned");
+      continue;
+    }
+    if (it->second != rank) {
+      fail(t, "unit " + std::to_string(id) + " adopted by rank " +
+                  std::to_string(rank) + " but assigned to rank " +
+                  std::to_string(it->second));
+    }
+    pending_.erase(it);
+    ++adopted_total_;
+  }
+}
+
+void EvictionChecker::on_run_end(sim::Time t) {
+  if (!pending_.empty()) {
+    fail(t, std::to_string(pending_.size()) +
+                " orphan(s) assigned but never adopted (first: unit " +
+                std::to_string(pending_.begin()->first) + " -> rank " +
+                std::to_string(pending_.begin()->second) + ")");
+  }
+}
+
+// -------------------------------------------------------- TransportChecker
+
+void TransportChecker::on_transport_deliver(sim::Time t, sim::Pid src,
+                                            sim::Pid dst, int tag,
+                                            std::uint32_t seq) {
+  auto& next = next_seq_[{src, dst, tag}];
+  if (seq != next) {
+    fail(t, "channel " + std::to_string(src) + "->" + std::to_string(dst) +
+                " tag " + std::to_string(tag) + " delivered seq " +
+                std::to_string(seq) + ", expected " + std::to_string(next));
+  }
+  next = seq + 1;
+}
+
+void TransportChecker::on_transport_gave_up(sim::Time, sim::Pid, sim::Pid,
+                                            int) {
+  ++gave_ups_;
+}
+
+// ---------------------------------------------------------- CrashInjector
+
+void CrashInjector::on_master_reports(sim::Time, int round,
+                                      const std::vector<lb::StatusReport>&,
+                                      const std::vector<bool>&) {
+  if (fired_ || round < trigger_round_) return;
+  fired_ = true;
+  world_.kill(victim_);
+}
+
 // ------------------------------------------------------------------ wiring
 
 void add_standard_checkers(InvariantSet& set, int nslaves, int lag,
@@ -260,6 +359,8 @@ void add_standard_checkers(InvariantSet& set, int nslaves, int lag,
   set.add(std::make_unique<WorkConservationChecker>());
   set.add(std::make_unique<PipelineLagChecker>(lag));
   set.add(std::make_unique<SliceOwnershipChecker>(expected_slices));
+  set.add(std::make_unique<EvictionChecker>());
+  set.add(std::make_unique<TransportChecker>());
   if (restricted) set.add(std::make_unique<ContiguityChecker>(nslaves));
 }
 

@@ -3,13 +3,19 @@
 // scenario's configuration to an InvariantSet (see scenario.cpp).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "check/invariant.hpp"
+
+namespace nowlb::sim {
+class World;
+}
 
 namespace nowlb::check {
 
@@ -19,7 +25,9 @@ namespace nowlb::check {
 /// FIFO — the network preserves per-pair ordering), and no transfer may be
 /// in flight when the run ends. Also validates the master's plans (targets
 /// redistribute exactly the reported remaining work) and report sanity
-/// (no negative counts or durations).
+/// (no negative counts or durations). Transfers on an edge touching an
+/// evicted rank are written off: the sender or receiver is gone and the
+/// orphan-recovery path (EvictionChecker) accounts for the units instead.
 class WorkConservationChecker final : public Invariant {
  public:
   const char* name() const override { return "conservation"; }
@@ -32,11 +40,13 @@ class WorkConservationChecker final : public Invariant {
                        int actual) override;
   void on_units_unpacked(sim::Time t, int rank, int from_rank, int ordered,
                          int actual) override;
+  void on_rank_evicted(sim::Time t, int rank, sim::Pid pid) override;
   void on_run_end(sim::Time t) override;
 
  private:
   // (from, to) -> FIFO of packed-but-not-yet-unpacked unit counts.
   std::map<std::pair<int, int>, std::vector<int>> in_flight_;
+  std::set<int> dead_;
 };
 
 /// Block-distribution contiguity (restricted / adjacent-shift mode only,
@@ -96,6 +106,10 @@ class PipelineLagChecker final : public Invariant {
 /// protocol (§4.6) silently depends on. Every slice id is held by exactly
 /// one rank or is in flight between two; at run end nothing is in flight
 /// and (when the scenario knows the total) every slice is accounted for.
+/// A slice re-added while its recorded owner is an evicted rank is an
+/// adoption, not a duplicate: ownership transfers silently. The run-end
+/// checks stay strict — they are exactly what proves recovery re-homed
+/// every orphan.
 class SliceOwnershipChecker final : public Invariant {
  public:
   /// `expected_total` < 0 disables the end-of-run coverage check.
@@ -105,16 +119,85 @@ class SliceOwnershipChecker final : public Invariant {
 
   void on_slice_added(sim::Time t, int rank, data::SliceId id) override;
   void on_slice_removed(sim::Time t, int rank, data::SliceId id) override;
+  void on_rank_evicted(sim::Time t, int rank, sim::Pid pid) override;
   void on_run_end(sim::Time t) override;
 
  private:
   int expected_total_;
   std::map<data::SliceId, int> owner_;   // id -> holding rank
   std::set<data::SliceId> in_flight_;    // removed, not yet re-added
+  std::set<int> dead_;
+};
+
+/// Fault-recovery bookkeeping. Every orphaned unit id the master assigns
+/// must go to a live rank, be adopted exactly once by that rank, and no
+/// assignment may still be outstanding at run end; a rank must never adopt
+/// units it was not assigned. (No-op in fault-free runs: no events fire.)
+class EvictionChecker final : public Invariant {
+ public:
+  const char* name() const override { return "eviction"; }
+
+  void on_rank_evicted(sim::Time t, int rank, sim::Pid pid) override;
+  void on_orphans_assigned(sim::Time t, int rank,
+                           const std::vector<int>& ids) override;
+  void on_adopted(sim::Time t, int rank, const std::vector<int>& ids) override;
+  void on_run_end(sim::Time t) override;
+
+ private:
+  std::set<int> dead_;
+  std::map<int, int> pending_;  // unit id -> assigned rank, not yet adopted
+  int adopted_total_ = 0;
+};
+
+/// Reliable-transport delivery order: per (src, dst, tag) channel the
+/// delivered sequence numbers are strictly consecutive from 0 — no loss,
+/// no duplicate, no reorder survives the retransmit/ack layer. Retry
+/// exhaustion (gave-up) is counted but never failed on: it is legal both
+/// towards a crashed peer racing its own eviction and towards a finished
+/// peer whose last ack was lost; a gave-up that actually loses protocol
+/// state surfaces through the termination / conservation / oracle checks.
+class TransportChecker final : public Invariant {
+ public:
+  const char* name() const override { return "transport"; }
+
+  void on_transport_deliver(sim::Time t, sim::Pid src, sim::Pid dst, int tag,
+                            std::uint32_t seq) override;
+  void on_transport_gave_up(sim::Time t, sim::Pid src, sim::Pid dst,
+                            int tag) override;
+
+  std::uint64_t gave_ups() const { return gave_ups_; }
+
+ private:
+  std::map<std::tuple<sim::Pid, sim::Pid, int>, std::uint32_t> next_seq_;
+  std::uint64_t gave_ups_ = 0;
+};
+
+/// Crash-fault injector: kills one slave process the first time the master
+/// completes a report collection for round >= `trigger_round`. Not a
+/// checker — it perturbs the simulated system — but it rides the invariant
+/// bus because the master's collection loop is the only deterministic,
+/// app-independent place to anchor "mid-run" on.
+class CrashInjector final : public Invariant {
+ public:
+  CrashInjector(sim::World& world, sim::Pid victim, int trigger_round)
+      : world_(world), victim_(victim), trigger_round_(trigger_round) {}
+  const char* name() const override { return "crash-injector"; }
+
+  void on_master_reports(sim::Time t, int round,
+                         const std::vector<lb::StatusReport>& reports,
+                         const std::vector<bool>& mask) override;
+  bool fired() const { return fired_; }
+
+ private:
+  sim::World& world_;
+  sim::Pid victim_;
+  int trigger_round_;
+  bool fired_ = false;
 };
 
 /// The full checker complement for a scenario: conservation + pipeline lag
-/// + ownership always; contiguity only in restricted-movement mode.
+/// + ownership + eviction + transport always (the fault checkers are
+/// no-ops in fault-free runs); contiguity only in restricted-movement mode.
 void add_standard_checkers(InvariantSet& set, int nslaves, int lag,
                            bool restricted, int expected_slices);
 

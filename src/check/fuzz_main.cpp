@@ -8,6 +8,8 @@
 //   nowlb-fuzz --seeds=200                 # seeds 1..200 x {mm, sor, lu}
 //   nowlb-fuzz --app=sor --seed=1337       # replay one scenario, verbose
 //   nowlb-fuzz --seeds=50 --inject-fault=skip-credit   # prove detection
+//   nowlb-fuzz --seeds=50 --drop-rate=0.05 --dup-rate=0.02   # lossy net
+//   nowlb-fuzz --app=mm --seeds=25 --drop-rate=0.05 --kill-slave=1@3
 
 #include <cstdio>
 #include <string>
@@ -30,10 +32,23 @@ struct FailureRecord {
   bool deterministic;
 };
 
-std::string repro_command(const Scenario& sc, const std::string& fault_flag) {
+std::string repro_command(const Scenario& sc, const std::string& fault_flag,
+                          const nowlb::check::FaultPlan& plan) {
   std::string cmd = "nowlb-fuzz --app=" + std::string(app_name(sc.app)) +
                     " --seed=" + std::to_string(sc.seed);
   if (!fault_flag.empty()) cmd += " --inject-fault=" + fault_flag;
+  if (plan.drop_rate > 0) {
+    cmd += " --drop-rate=" + std::to_string(plan.drop_rate);
+  }
+  if (plan.dup_rate > 0) cmd += " --dup-rate=" + std::to_string(plan.dup_rate);
+  if (plan.reorder_delay > 0) {
+    cmd += " --reorder-us=" +
+           std::to_string(plan.reorder_delay / nowlb::sim::kMicrosecond);
+  }
+  if (plan.kill_rank >= 0) {
+    cmd += " --kill-slave=" + std::to_string(plan.kill_rank) + "@" +
+           std::to_string(plan.kill_round);
+  }
   return cmd;
 }
 
@@ -50,8 +65,10 @@ int main(int argc, char** argv) {
   const nowlb::Cli cli(argc, argv);
   // A misspelled flag must not silently fall back to defaults: a fuzzer
   // that quietly runs the wrong scenario set reports green for nothing.
-  static const char* kKnown[] = {"help",    "seeds",        "base", "seed",
-                                 "app",     "inject-fault", "log",  "verbose"};
+  static const char* kKnown[] = {
+      "help", "seeds",        "base", "seed",    "app",
+      "log",  "inject-fault", "verbose",
+      "drop-rate", "dup-rate", "reorder-us", "kill-slave"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
@@ -68,6 +85,8 @@ int main(int argc, char** argv) {
         "usage: nowlb-fuzz [--seeds=N] [--base=B] [--seed=S]\n"
         "                  [--app=mm|sor|lu|all] [--inject-fault=skip-credit|"
         "wrong-round]\n"
+        "                  [--drop-rate=P] [--dup-rate=P] [--reorder-us=D]\n"
+        "                  [--kill-slave=RANK@ROUND]  (MM only)\n"
         "                  [--verbose]\n");
     return 0;
   }
@@ -105,6 +124,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  nowlb::check::FaultPlan plan;
+  plan.drop_rate = cli.get_double("drop-rate", 0.0);
+  plan.dup_rate = cli.get_double("dup-rate", 0.0);
+  plan.reorder_delay =
+      static_cast<nowlb::sim::Time>(cli.get_int("reorder-us", 0)) *
+      nowlb::sim::kMicrosecond;
+  if (plan.drop_rate < 0 || plan.drop_rate >= 1 || plan.dup_rate < 0 ||
+      plan.dup_rate >= 1 || plan.reorder_delay < 0) {
+    std::fprintf(stderr, "fault rates must be in [0, 1), delays >= 0\n");
+    return 2;
+  }
+  const std::string kill_flag = cli.get("kill-slave", "");
+  if (!kill_flag.empty()) {
+    const std::size_t at = kill_flag.find('@');
+    try {
+      plan.kill_rank = std::stoi(kill_flag.substr(0, at));
+      if (at != std::string::npos) {
+        plan.kill_round = std::stoi(kill_flag.substr(at + 1));
+      }
+    } catch (...) {
+      plan.kill_rank = -1;
+    }
+    if (plan.kill_rank < 0 || plan.kill_round < 1) {
+      std::fprintf(stderr, "--kill-slave expects RANK@ROUND (e.g. 1@3)\n");
+      return 2;
+    }
+    if (app_flag != "mm") {
+      std::fprintf(stderr,
+                   "--kill-slave requires --app=mm (SOR/LU have no "
+                   "crash-recovery path)\n");
+      return 2;
+    }
+  }
+
   const long long seeds_int = cli.get_int("seeds", 50);
   if (seeds_int <= 0) {
     std::fprintf(stderr, "--seeds=%s must be a positive integer\n",
@@ -123,7 +176,8 @@ int main(int argc, char** argv) {
   std::vector<FailureRecord> failed;
   for (std::uint64_t seed = base; seed < base + nseeds; ++seed) {
     for (App app : apps) {
-      const Scenario sc = nowlb::check::generate_scenario(seed, app);
+      Scenario sc = nowlb::check::generate_scenario(seed, app);
+      if (plan.any()) nowlb::check::apply_fault_plan(sc, plan);
       const FuzzResult res = nowlb::check::run_scenario(sc, fault);
       ++runs;
       if (verbose) {
@@ -154,7 +208,8 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(replay.trace_hash),
                     res.failures.size(), replay.failures.size());
       }
-      std::printf("  repro: %s\n", repro_command(sc, fault_flag).c_str());
+      std::printf("  repro: %s\n",
+                  repro_command(sc, fault_flag, plan).c_str());
       failed.push_back({seed, app, same});
     }
   }

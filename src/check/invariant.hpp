@@ -69,6 +69,24 @@ class Invariant {
                                  int /*from_rank*/, int /*ordered*/,
                                  int /*actual*/) {}
 
+  // ---- fault-tolerance hookpoints (lb/master.cpp, lb/transport.cpp) ----
+  /// Master evicted `rank` (pid) after a missed-report heartbeat deadline.
+  virtual void on_rank_evicted(sim::Time /*t*/, int /*rank*/,
+                               sim::Pid /*pid*/) {}
+  /// Master assigned orphaned unit ids from an evicted rank to `rank`.
+  virtual void on_orphans_assigned(sim::Time /*t*/, int /*rank*/,
+                                   const std::vector<int>& /*ids*/) {}
+  /// Slave `rank` reconstructed and integrated adopted unit ids.
+  virtual void on_adopted(sim::Time /*t*/, int /*rank*/,
+                          const std::vector<int>& /*ids*/) {}
+  /// Reliable transport delivered (src, tag, seq) to dst's application.
+  virtual void on_transport_deliver(sim::Time /*t*/, sim::Pid /*src*/,
+                                    sim::Pid /*dst*/, int /*tag*/,
+                                    std::uint32_t /*seq*/) {}
+  /// Sender exhausted retransmit attempts for a message towards dst.
+  virtual void on_transport_gave_up(sim::Time /*t*/, sim::Pid /*src*/,
+                                    sim::Pid /*dst*/, int /*tag*/) {}
+
   // ---- data-layer hookpoints (data/dist_array.hpp via SliceLedger) ----
   virtual void on_slice_added(sim::Time /*t*/, int /*rank*/,
                               data::SliceId /*id*/) {}
@@ -169,6 +187,22 @@ class InvariantSet : public data::SliceLedger {
     for (auto& c : checkers_) {
       c->on_units_unpacked(t, rank, from_rank, ordered, actual);
     }
+  }
+  void on_rank_evicted(sim::Time t, int rank, sim::Pid pid) {
+    for (auto& c : checkers_) c->on_rank_evicted(t, rank, pid);
+  }
+  void on_orphans_assigned(sim::Time t, int rank, const std::vector<int>& ids) {
+    for (auto& c : checkers_) c->on_orphans_assigned(t, rank, ids);
+  }
+  void on_adopted(sim::Time t, int rank, const std::vector<int>& ids) {
+    for (auto& c : checkers_) c->on_adopted(t, rank, ids);
+  }
+  void on_transport_deliver(sim::Time t, sim::Pid src, sim::Pid dst, int tag,
+                            std::uint32_t seq) {
+    for (auto& c : checkers_) c->on_transport_deliver(t, src, dst, tag, seq);
+  }
+  void on_transport_gave_up(sim::Time t, sim::Pid src, sim::Pid dst, int tag) {
+    for (auto& c : checkers_) c->on_transport_gave_up(t, src, dst, tag);
   }
   void on_run_end(sim::Time t) {
     for (auto& c : checkers_) c->on_run_end(t);

@@ -48,6 +48,17 @@ std::string Scenario::describe() const {
        " latency_us=" + std::to_string(world.net.latency / sim::kMicrosecond);
   s += " loads=";
   for (int k : loads) s += std::to_string(k);
+  if (faults.any()) {
+    s += " faults[drop=" + std::to_string(faults.drop_rate) +
+         " dup=" + std::to_string(faults.dup_rate) +
+         " reorder_us=" +
+         std::to_string(faults.reorder_delay / sim::kMicrosecond);
+    if (faults.kill_rank >= 0) {
+      s += " kill=" + std::to_string(faults.kill_rank) + "@r" +
+           std::to_string(faults.kill_round);
+    }
+    s += "]";
+  }
   return s;
 }
 
@@ -134,6 +145,37 @@ Scenario generate_scenario(std::uint64_t seed, App app) {
   // legitimate completion time, so tripping it means livelock/deadlock.
   sc.time_bound = sim::from_seconds(20.0 * seq_s + 60.0);
   return sc;
+}
+
+void apply_fault_plan(Scenario& sc, const FaultPlan& plan) {
+  if (!plan.any()) return;  // an empty plan perturbs nothing, not even the
+                            // transport: faults off stays bit-identical
+  sc.faults = plan;
+  if (sc.faults.kill_rank >= 0 && sc.app != App::kMm) sc.faults.kill_rank = -1;
+
+  // Lossy network, confined to the lb protocol tags: the runtime's
+  // report/instruction/movement traffic (and its acks) rides the reliable
+  // transport, while the applications' data plane (ghost exchanges, pivot
+  // broadcasts) has no retransmit layer and must stay lossless.
+  sc.world.net.drop_prob = sc.faults.drop_rate;
+  sc.world.net.dup_prob = sc.faults.dup_rate;
+  sc.world.net.max_extra_delay = sc.faults.reorder_delay;
+  sc.world.net.fault_seed = sc.world.seed ^ 0xfa01753cd15ab1eull;
+  sc.world.net.fault_tag_lo = lb::kTagReport;
+  sc.world.net.fault_tag_hi = lb::kTagAck;
+  sc.lb.transport.enabled = true;
+
+  if (sc.faults.kill_rank >= 0) {
+    // A crash needs a survivor to adopt the orphans.
+    if (sc.slaves < 2) sc.slaves = 2;
+    sc.loads.resize(static_cast<std::size_t>(sc.slaves), 0);
+    sc.faults.kill_rank %= sc.slaves;
+    if (sc.faults.kill_round < 1) sc.faults.kill_round = 1;
+    // Heartbeat regime: generously above the report period so a slow but
+    // live rank is never falsely evicted, yet far below the watchdog.
+    sc.lb.heartbeat_timeout = 20 * sc.lb.min_period + 10 * sim::kSecond;
+    sc.time_bound += 3 * sc.lb.heartbeat_timeout + 30 * sim::kSecond;
+  }
 }
 
 namespace {
@@ -235,6 +277,13 @@ FuzzResult run_scenario(const Scenario& sc, InvariantSet::Fault fault) {
       break;
   }
   attach_loads(cluster, sc);
+
+  // Crash-fault injection: kill the victim once the master has completed
+  // the trigger round's collection (pids exist only after spawn).
+  if (sc.faults.kill_rank >= 0) {
+    set.add(std::make_unique<CrashInjector>(
+        world, cluster.slave_pid(sc.faults.kill_rank), sc.faults.kill_round));
+  }
 
   // Watchdog: a correct run always finishes well before the bound; firing
   // it leaves essential processes outstanding, reported below.

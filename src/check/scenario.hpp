@@ -23,6 +23,22 @@ enum class App { kMm, kSor, kLu };
 
 const char* app_name(App app);
 
+/// Fault-injection plan layered onto a generated scenario. All fields
+/// default to off, and generate_scenario() draws nothing for it, so
+/// fault-free seeds are bit-identical with or without this feature.
+struct FaultPlan {
+  double drop_rate = 0;         // network drop probability
+  double dup_rate = 0;          // network duplication probability
+  sim::Time reorder_delay = 0;  // max extra per-message delay (reordering)
+  int kill_rank = -1;           // slave to crash-fault (-1: none)
+  int kill_round = 3;           // master collection round to crash at
+
+  bool any() const {
+    return drop_rate > 0 || dup_rate > 0 || reorder_delay > 0 ||
+           kill_rank >= 0;
+  }
+};
+
 /// Everything a run needs, derived deterministically from (seed, app).
 struct Scenario {
   std::uint64_t seed = 0;
@@ -44,11 +60,23 @@ struct Scenario {
   /// Watchdog: the run must terminate within this much virtual time.
   sim::Time time_bound = 0;
 
+  /// Active fault plan (off unless apply_fault_plan was called).
+  FaultPlan faults;
+
   /// One-line human-readable summary for failure output.
   std::string describe() const;
 };
 
 Scenario generate_scenario(std::uint64_t seed, App app);
+
+/// Layer a fault plan onto a generated scenario: arms the lossy network on
+/// the lb protocol tags, enables the reliable transport, and — for a kill
+/// plan — enables the heartbeat regime, guarantees a survivor rank, and
+/// widens the watchdog bound to absorb detection and recovery time.
+/// Crash faults are only supported for MM (SOR's ghost chain and LU's
+/// pivot broadcast have no recovery path); a kill plan on another app is
+/// dropped, keeping the message-level faults.
+void apply_fault_plan(Scenario& sc, const FaultPlan& plan);
 
 struct FuzzResult {
   bool ok = true;

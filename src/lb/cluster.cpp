@@ -40,6 +40,8 @@ void Cluster::spawn(SlaveBody body) {
         mc.termination = cfg_.termination;
         mc.lb = cfg_.lb;
         mc.first_window_fraction = cfg_.first_window_fraction;
+        mc.unit_ids_begin = cfg_.unit_ids_begin;
+        mc.unit_ids_end = cfg_.unit_ids_end;
         mc.stats = stats_;
         Master master(ctx, mc);
         co_await master.run();

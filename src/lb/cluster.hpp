@@ -27,6 +27,9 @@ struct ClusterConfig {
   LbConfig lb;
   std::vector<int> initial_counts;  // per-rank work units
   double first_window_fraction = 0.05;
+  /// Global work-unit id range for fault recovery (see MasterConfig).
+  int unit_ids_begin = 0;
+  int unit_ids_end = -1;
   /// False: spawn no master (static distribution, zero balancing overhead
   /// — the paper's plain "parallel execution" baseline).
   bool use_master = true;

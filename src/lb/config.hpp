@@ -24,6 +24,21 @@ enum class Movement {
   kRestricted,
 };
 
+/// Reliable-delivery layer for the master/slave protocol (DESIGN.md §9).
+/// Off by default: the classic runtime assumes a perfect network and its
+/// wire format and timing must stay bit-identical.
+struct TransportConfig {
+  bool enabled = false;
+  /// Initial retransmission timeout; should comfortably exceed one
+  /// round-trip (wire latency + transmit + ack) under load.
+  Time rto = 20 * sim::kMillisecond;
+  /// Timeout multiplier per successive retransmission of one message.
+  double backoff = 2.0;
+  /// Retransmissions before giving a message up for lost (the peer is
+  /// presumed dead; the failure detector is responsible for acting on it).
+  int max_retries = 8;
+};
+
 struct LbConfig {
   /// Pipelined master interactions (Fig. 2b): instructions received at a
   /// balancing point are based on the previous point's status. Synchronous
@@ -76,6 +91,18 @@ struct LbConfig {
 
   /// Record per-slave rate/assignment series into the world recorder.
   bool trace = false;
+
+  /// Reliable transport wrapped around report/instruction/move traffic.
+  TransportConfig transport;
+
+  /// Failure-detection deadline: if a slave's status report is more than
+  /// this late at a collection point, the master declares the rank dead,
+  /// evicts it and reassigns its outstanding work to the survivors. Zero
+  /// disables fault tolerance (a missing report blocks forever, as in the
+  /// paper's perfect-network model). Requires transport.enabled and
+  /// phase-counting termination.
+  Time heartbeat_timeout = 0;
+  bool fault_tolerance() const { return heartbeat_timeout > 0; }
 
   /// Optional runtime invariant checkers (src/check). Master and slaves
   /// report every protocol event to it; null disables all checking. Not

@@ -33,6 +33,24 @@ Master::Master(sim::Context& ctx, MasterConfig cfg)
   rates_.assign(nslaves_, 0.0);
   raw_rates_.assign(nslaves_, 0.0);
   measured_.assign(nslaves_, false);
+  active_.assign(nslaves_, true);
+  collected_.assign(nslaves_, false);
+  adopt_orders_.assign(nslaves_, {});
+  unit_ids_begin_ = cfg_.unit_ids_begin;
+  unit_ids_end_ =
+      cfg_.unit_ids_end >= 0
+          ? cfg_.unit_ids_end
+          : unit_ids_begin_ + std::accumulate(cfg_.initial_counts.begin(),
+                                              cfg_.initial_counts.end(), 0);
+  if (ft()) {
+    NOWLB_CHECK(cfg_.lb.transport.enabled,
+                "fault tolerance requires the reliable transport");
+    NOWLB_CHECK(cfg_.termination == Termination::kPhases,
+                "fault tolerance requires phase-counting termination");
+  }
+  transport_ = std::make_unique<Transport>(
+      ctx_, cfg_.lb.transport,
+      std::vector<sim::Tag>{kTagReport, kTagInstr, kTagMove}, cfg_.lb.check);
 }
 
 int Master::rank_of(sim::Pid pid) const {
@@ -51,45 +69,57 @@ double Master::initial_window_units(int rank) const {
 Task<> Master::run() {
   if (cfg_.termination == Termination::kDoneFlags) {
     co_await run_done_flags();
-    co_return;
+  } else {
+    for (int phase = 0; phase < cfg_.phases; ++phase) {
+      co_await run_phase();
+    }
   }
-  for (int phase = 0; phase < cfg_.phases; ++phase) {
-    co_await run_phase();
-  }
+  // Linger until the final instructions are acked: returning destroys the
+  // transport and its retransmit timers, and a still-dropped phase_done
+  // would strand its slave forever.
+  co_await transport_->drain();
 }
 
 Task<> Master::run_phase() {
-  const std::vector<bool> all(nslaves_, true);
-
   if (cfg_.lb.pipelined) {
     // Prime the pipeline: the instructions consumed at each slave's first
     // balance of this phase carry no movement (no rate data yet).
     ++round_;
     for (int r = 0; r < nslaves_; ++r) {
+      if (!active_[r]) continue;
       Instructions ins;
       ins.round = round_;
       ins.units_until_next = rates_[r] > 0
                                  ? freq_.units_for_period(rates_[r])
                                  : initial_window_units(r);
+      attach_ft(ins, r);
       if (cfg_.lb.check != nullptr) {
         cfg_.lb.check->on_master_instructions(ctx_.now(), r, ins);
       }
-      co_await msg::send(ctx_, cfg_.slaves[r], kTagInstr, ins);
+      co_await send_instr(r, ins);
+    }
+    if (ft() && ft_sync_pending_) {
+      ft_sync_round_ = round_;
+      ft_sync_pending_ = false;
+      newly_evicted_.clear();
     }
   }
 
   for (;;) {
     const int report_round = cfg_.lb.pipelined ? round_ : round_ + 1;
     if (!cfg_.lb.pipelined) ++round_;
-    auto reports = co_await collect_reports(report_round, all);
+    auto reports = co_await collect_reports(report_round, active_);
     ++stats_.rounds;
-    process_measurements(reports, all);
+    process_measurements(reports, collected_);
+    if (ft()) reconcile_census(reports, report_round);
 
-    std::vector<int> remaining(nslaves_);
-    for (int r = 0; r < nslaves_; ++r) remaining[r] = reports[r].remaining;
+    std::vector<int> remaining(nslaves_, 0);
+    for (int r = 0; r < nslaves_; ++r) {
+      if (collected_[r]) remaining[r] = reports[r].remaining;
+    }
     const int total = std::accumulate(remaining.begin(), remaining.end(), 0);
 
-    if (total == 0) {
+    if (total == 0 && !recovery_pending_) {
       // Phase complete. Pipelined: the phase_done message is labelled for
       // the next round (slaves do one final balance); synchronous: for this
       // round (slaves are waiting for it now).
@@ -97,19 +127,32 @@ Task<> Master::run_phase() {
       Decision none;
       none.target = remaining;
       co_await send_instructions(round_, /*phase_done=*/true, none, rates_,
-                                 all);
+                                 active_);
       if (cfg_.lb.pipelined) {
         // Consume the final reports so rounds stay aligned across phases.
-        auto finals = co_await collect_reports(round_, all);
-        process_measurements(finals, all);
+        auto finals = co_await collect_reports(round_, active_);
+        process_measurements(finals, collected_);
         ++stats_.rounds;
       }
       co_return;
     }
 
-    const Decision d = make_decision(remaining);
+    Decision d;
+    if (recovery_pending_) {
+      // Freeze ordinary movement while an eviction is being recovered:
+      // in-flight transfers would blur the inventory census that recovery
+      // is built on.
+      d.target = remaining;
+      d.reason = "movement frozen during fault recovery";
+      if (cfg_.lb.check != nullptr) {
+        cfg_.lb.check->on_master_decision(ctx_.now(), d, remaining);
+      }
+    } else {
+      d = make_decision(remaining);
+    }
     if (cfg_.lb.pipelined) ++round_;
-    co_await send_instructions(round_, /*phase_done=*/false, d, rates_, all);
+    co_await send_instructions(round_, /*phase_done=*/false, d, rates_,
+                               active_);
   }
 }
 
@@ -183,6 +226,7 @@ Task<std::vector<StatusReport>> Master::collect_reports(
   int want = 0;
   for (int r = 0; r < nslaves_; ++r) want += expected[r] ? 1 : 0;
   int have = 0;
+  const Time deadline = ctx_.now() + cfg_.lb.heartbeat_timeout;
 
   // First take any reports stashed by the previous collection (an idle
   // slave may run one round ahead of slower slaves).
@@ -203,8 +247,34 @@ Task<std::vector<StatusReport>> Master::collect_reports(
   stashed_ = std::move(still_early);
 
   while (have < want) {
-    auto [src, rep] =
-        co_await msg::recv_from_any<StatusReport>(ctx_, kTagReport);
+    sim::Pid src;
+    StatusReport rep;
+    if (ft()) {
+      auto m = co_await ctx_.recv_until(kTagReport, sim::kAnyPid, deadline);
+      if (!m) {
+        // Heartbeat deadline passed with reports outstanding: every silent
+        // rank is presumed crashed. Evict them all and return the partial
+        // collection; recovery proceeds from the survivors' census.
+        for (int r = 0; r < nslaves_; ++r) {
+          if (expected[r] && !seen[r]) evict(r);
+        }
+        break;
+      }
+      src = m->src;
+      rep = msg::decode<StatusReport>(m->payload);
+      if (!active_[rank_of(src)]) {
+        // A rank evicted in an earlier round is still talking: the
+        // transport blackhole should have swallowed this. Note it (a
+        // symptom of a false eviction) and drop the report.
+        NOWLB_LOG(Warn, "lb") << "report from evicted rank " << rank_of(src);
+        continue;
+      }
+    } else {
+      auto [s, r] =
+          co_await msg::recv_from_any<StatusReport>(ctx_, kTagReport);
+      src = s;
+      rep = r;
+    }
     const int rank = rank_of(src);
     NOWLB_CHECK(expected[rank], "report from unexpected rank " << rank);
     if (rep.round == round + 1) {
@@ -219,8 +289,9 @@ Task<std::vector<StatusReport>> Master::collect_reports(
     reports[rank] = rep;
     ++have;
   }
+  collected_ = seen;
   if (cfg_.lb.check != nullptr) {
-    cfg_.lb.check->on_master_reports(ctx_.now(), round, reports, expected);
+    cfg_.lb.check->on_master_reports(ctx_.now(), round, reports, seen);
   }
   co_return reports;
 }
@@ -234,12 +305,9 @@ void Master::process_measurements(const std::vector<StatusReport>& reports,
   for (int r = 0; r < nslaves_; ++r) {
     if (!mask[r]) continue;
     const auto& rep = reports[r];
-    // Rate update. Windows that measured nothing (an idle slave spinning
-    // balance rounds, or a degenerate sub-millisecond window) carry no
-    // information about the slave's capacity — keep the previous estimate.
-    const bool informative =
-        rep.elapsed_s > 1e-4 && !(rep.units_done == 0 && rep.remaining == 0);
-    if (informative) {
+    // Rate update. Uninformative windows keep the previous estimate (see
+    // informative_window).
+    if (informative_window(rep)) {
       raw_rates_[r] = rep.units_done / rep.elapsed_s;
       rates_[r] = cfg_.lb.filtering ? filters_[r].update(raw_rates_[r])
                                     : raw_rates_[r];
@@ -312,11 +380,136 @@ Task<> Master::send_instructions(int round, bool phase_done,
     ins.units_until_next = rates[r] > 0 ? freq_.units_for_period(rates[r])
                                         : initial_window_units(r);
     ins.orders = std::move(orders[r]);
+    attach_ft(ins, r);
     if (cfg_.lb.check != nullptr) {
       cfg_.lb.check->on_master_instructions(ctx_.now(), r, ins);
     }
-    co_await msg::send(ctx_, cfg_.slaves[r], kTagInstr, ins);
+    co_await send_instr(r, ins);
   }
+  if (ft() && ft_sync_pending_) {
+    ft_sync_round_ = round;
+    ft_sync_pending_ = false;
+    newly_evicted_.clear();
+  }
+}
+
+Task<> Master::send_instr(int rank, const Instructions& ins) {
+  co_await transport_->send(cfg_.slaves[rank], kTagInstr, msg::encode(ins));
+}
+
+void Master::attach_ft(Instructions& ins, int rank) {
+  if (!ft()) return;
+  ins.ft = 1;
+  ins.evicted.assign(newly_evicted_.begin(), newly_evicted_.end());
+  if (!adopt_orders_[rank].empty()) {
+    ins.adopt = std::move(adopt_orders_[rank]);
+    adopt_orders_[rank].clear();
+  }
+}
+
+void Master::evict(int rank) {
+  NOWLB_CHECK(active_[rank], "evicting rank " << rank << " twice");
+  NOWLB_LOG(Warn, "lb") << "master evicts rank " << rank
+                        << " (report overdue at t="
+                        << to_seconds(ctx_.now()) << "s)";
+  active_[rank] = false;
+  rates_[rank] = 0;
+  raw_rates_[rank] = 0;
+  measured_[rank] = false;
+  newly_evicted_.push_back(rank);
+  adopt_orders_[rank].clear();  // undeliverable; orphans get recomputed
+  recovery_pending_ = true;
+  ft_sync_pending_ = true;
+  ++stats_.evictions;
+  transport_->blackhole(cfg_.slaves[rank]);
+  // Forget any early report the dead rank stashed before crashing.
+  std::erase_if(stashed_, [&](const auto& e) {
+    return e.first == cfg_.slaves[rank];
+  });
+  if (cfg_.lb.check != nullptr) {
+    cfg_.lb.check->on_rank_evicted(ctx_.now(), rank, cfg_.slaves[rank]);
+  }
+}
+
+void Master::reconcile_census(const std::vector<StatusReport>& reports,
+                              int census_round) {
+  if (!recovery_pending_) return;
+  // The census is only trustworthy once every survivor has applied the
+  // latest FT state — eviction notices (drop in-flight traffic from the
+  // dead, settle survivor-to-survivor moves) and adopt orders: their
+  // reports of the round after the instructions that carried it.
+  if (ft_sync_pending_) return;
+  if (ft_sync_round_ < 0 || census_round <= ft_sync_round_) return;
+  std::vector<bool> held(
+      static_cast<std::size_t>(unit_ids_end_ - unit_ids_begin_), false);
+  for (int r = 0; r < nslaves_; ++r) {
+    if (!active_[r]) continue;
+    if (!collected_[r]) return;  // partial view: wait for a full round
+    NOWLB_CHECK(reports[r].ft, "census round report without FT trailer");
+    for (std::int32_t id : reports[r].inventory) {
+      const auto idx = static_cast<std::size_t>(id - unit_ids_begin_);
+      NOWLB_CHECK(idx < held.size(), "inventory id " << id << " out of range");
+      NOWLB_CHECK(!held[idx], "unit " << id << " owned by two ranks");
+      held[idx] = true;
+    }
+  }
+  std::vector<std::int32_t> orphans;
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    if (!held[i]) {
+      orphans.push_back(static_cast<std::int32_t>(i) + unit_ids_begin_);
+    }
+  }
+  if (orphans.empty()) {
+    // Coverage complete: every unit in the range has a live owner.
+    NOWLB_LOG(Info, "lb") << "fault recovery complete at round "
+                          << census_round;
+    recovery_pending_ = false;
+    return;
+  }
+  // Partition the orphans over the survivors, proportional to their
+  // filtered rates (even split when no rate information survives).
+  std::vector<int> survivors;
+  double rate_sum = 0;
+  for (int r = 0; r < nslaves_; ++r) {
+    if (active_[r]) {
+      survivors.push_back(r);
+      rate_sum += std::max(0.0, rates_[r]);
+    }
+  }
+  NOWLB_CHECK(!survivors.empty(), "no surviving slaves to adopt work");
+  std::vector<double> weight(survivors.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    weight[i] = rate_sum > 0 ? std::max(0.0, rates_[survivors[i]]) / rate_sum
+                             : 1.0 / static_cast<double>(survivors.size());
+  }
+  // Contiguous proportional split (largest-remainder not needed: adopters
+  // re-balance through the ordinary mechanism once recovery completes).
+  std::vector<double> cum(survivors.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    acc += weight[i];
+    cum[i] = acc;
+  }
+  std::vector<std::vector<std::int32_t>> assigned(survivors.size());
+  const double n = static_cast<double>(orphans.size());
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < orphans.size(); ++i) {
+    const double frac = (static_cast<double>(i) + 0.5) / n;
+    while (s + 1 < survivors.size() && frac > cum[s] / acc) ++s;
+    assigned[s].push_back(orphans[i]);
+  }
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (assigned[i].empty()) continue;
+    const int r = survivors[i];
+    NOWLB_LOG(Info, "lb") << "rank " << r << " adopts " << assigned[i].size()
+                          << " orphaned units";
+    stats_.orphans_reassigned += static_cast<int>(assigned[i].size());
+    if (cfg_.lb.check != nullptr) {
+      cfg_.lb.check->on_orphans_assigned(ctx_.now(), r, assigned[i]);
+    }
+    adopt_orders_[r] = std::move(assigned[i]);
+  }
+  ft_sync_pending_ = true;  // census stale until the adopt orders land
 }
 
 }  // namespace nowlb::lb

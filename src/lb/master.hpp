@@ -14,6 +14,7 @@
 // of balancing phases and terminate together.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "lb/frequency.hpp"
 #include "lb/plan.hpp"
 #include "lb/protocol.hpp"
+#include "lb/transport.hpp"
 #include "sim/context.hpp"
 #include "sim/task.hpp"
 
@@ -35,7 +37,19 @@ struct MasterStats {
   int cancelled_threshold = 0;  // rounds gated by the 10 % threshold
   int cancelled_profit = 0;     // rounds cancelled by profitability
   double last_period_s = 0;
+  int evictions = 0;            // ranks declared dead (fault tolerance)
+  int orphans_reassigned = 0;   // orphaned units handed to survivors
 };
+
+/// True when a status report's measurement window says something about the
+/// slave's capacity. Windows that measured nothing — an idle slave spinning
+/// balance rounds, or a degenerate sub-millisecond window (including the
+/// zeroed placeholder of a rank whose report never arrived) — must not
+/// update the rate estimate, and in particular must never divide by the
+/// ~zero elapsed time.
+inline bool informative_window(const StatusReport& rep) {
+  return rep.elapsed_s > 1e-4 && !(rep.units_done == 0 && rep.remaining == 0);
+}
 
 /// How the run ends.
 enum class Termination {
@@ -61,6 +75,11 @@ struct MasterConfig {
   /// balance of each phase (no rate information exists yet). Small, so
   /// rate information is established early in a phase.
   double first_window_fraction = 0.05;
+  /// Half-open range of global work-unit ids, used by fault recovery to
+  /// compute orphaned units from the survivors' inventory census. The
+  /// default (end = -1) means [0, sum(initial_counts)).
+  int unit_ids_begin = 0;
+  int unit_ids_end = -1;
   std::shared_ptr<MasterStats> stats;  // optional
 };
 
@@ -74,7 +93,10 @@ class Master {
  private:
   sim::Task<> run_phase();
   sim::Task<> run_done_flags();
-  /// Collect one report from every rank with expected[rank] set.
+  /// Collect one report from every rank with expected[rank] set. Under a
+  /// heartbeat regime a rank whose report is more than heartbeat_timeout
+  /// late is evicted and the collection returns partial; `collected_`
+  /// holds the ranks actually heard from.
   sim::Task<std::vector<StatusReport>> collect_reports(
       int round, const std::vector<bool>& expected);
   sim::Task<> send_instructions(int round, bool phase_done,
@@ -83,6 +105,20 @@ class Master {
                                 const std::vector<bool>& recipients);
   void process_measurements(const std::vector<StatusReport>& reports,
                             const std::vector<bool>& mask);
+  /// Declare a rank dead: stop expecting traffic, zero its rate, queue the
+  /// eviction notice for the next instructions, start recovery.
+  void evict(int rank);
+  /// Reconcile the survivors' inventory census against the global unit-id
+  /// range; assign any orphaned units to survivors (adopt orders attached
+  /// to the next instructions). Clears recovery_pending_ once coverage is
+  /// complete and nothing is left to assign.
+  void reconcile_census(const std::vector<StatusReport>& reports,
+                        int census_round);
+  /// Attach the fault-tolerance trailer (eviction notices, adopt orders).
+  void attach_ft(Instructions& ins, int rank);
+  /// Reliable (or plain, when the transport is disabled) instruction send.
+  sim::Task<> send_instr(int rank, const Instructions& ins);
+  bool ft() const { return cfg_.lb.fault_tolerance(); }
   /// Gate + plan movement for the current remaining distribution, updating
   /// stats and the trace.
   Decision make_decision(const std::vector<int>& remaining);
@@ -105,6 +141,25 @@ class Master {
   double move_cost_per_unit_s_;
   MasterStats local_stats_;
   MasterStats& stats_;
+
+  // ---- fault tolerance (DESIGN.md §9) ----
+  std::unique_ptr<Transport> transport_;
+  std::vector<bool> active_;      // rank not evicted
+  std::vector<bool> collected_;   // ranks heard from in the last collection
+  std::vector<int> newly_evicted_;  // evictions not yet announced
+  /// Census synchronization barrier. Eviction notices and adopt orders
+  /// take effect when slaves apply the instructions carrying them, and the
+  /// protocol guarantees a slave applies instructions r before reporting
+  /// r+1 — so after instructions round `ft_sync_round_` carried FT state,
+  /// the first inventory census that reflects it is the reports of round
+  /// ft_sync_round_ + 1. Reconciling against an earlier census would
+  /// re-assign orphans that are already adopted (double adoption).
+  int ft_sync_round_ = -1;
+  bool ft_sync_pending_ = false;  // FT state queued, not yet on the wire
+  bool recovery_pending_ = false;
+  std::vector<std::vector<std::int32_t>> adopt_orders_;  // per rank, queued
+  int unit_ids_begin_ = 0;
+  int unit_ids_end_ = 0;
 };
 
 }  // namespace nowlb::lb

@@ -18,6 +18,7 @@ namespace nowlb::lb {
 inline constexpr sim::Tag kTagReport = 9001;  // slave -> master status
 inline constexpr sim::Tag kTagInstr = 9002;   // master -> slave instructions
 inline constexpr sim::Tag kTagMove = 9003;    // slave -> slave work movement
+inline constexpr sim::Tag kTagAck = 9004;     // transport acknowledgement
 
 /// Slave performance since the last information exchange, measured in the
 /// application-specific unit of "work units per second" — iterations of the
@@ -42,9 +43,21 @@ struct StatusReport {
   /// not participate in further rounds (done-flag termination mode).
   std::uint8_t done = 0;
 
+  // ---- fault-tolerance trailer (absent from the classic wire format) ----
+  /// Trailer present. Set by slaves running under a heartbeat regime.
+  std::uint8_t ft = 0;
+  /// Census: the unit ids this slave holds after applying the previous
+  /// round's instructions. The master reconstructs orphaned work from the
+  /// survivors' inventories after an eviction (DESIGN.md §9).
+  std::vector<std::int32_t> inventory;
+
   void encode(msg::Writer& w) const {
     w.put(round).put(units_done).put(elapsed_s).put(remaining)
         .put(lb_blocked_s).put(move_time_s).put(moved_units).put(done);
+    if (ft) {
+      w.put(ft);
+      w.put_vec(inventory);
+    }
   }
   static StatusReport decode(msg::Reader& r) {
     StatusReport s;
@@ -56,6 +69,10 @@ struct StatusReport {
     s.move_time_s = r.get<double>();
     s.moved_units = r.get<std::int32_t>();
     s.done = r.get<std::uint8_t>();
+    if (r.remaining() > 0) {
+      s.ft = r.get<std::uint8_t>();
+      s.inventory = r.get_vec<std::int32_t>();
+    }
     return s;
   }
 };
@@ -90,10 +107,24 @@ struct Instructions {
   double units_until_next = 0;
   std::vector<MoveOrder> orders;
 
+  // ---- fault-tolerance trailer (absent from the classic wire format) ----
+  /// Trailer present.
+  std::uint8_t ft = 0;
+  /// Ranks evicted since the previous instructions. Recipients must stop
+  /// expecting traffic from them and settle in-flight survivor moves.
+  std::vector<std::int32_t> evicted;
+  /// Orphaned unit ids this slave must reconstruct and take over.
+  std::vector<std::int32_t> adopt;
+
   void encode(msg::Writer& w) const {
     w.put(round).put(phase_done).put(units_until_next);
     w.put<std::uint32_t>(static_cast<std::uint32_t>(orders.size()));
     for (const auto& o : orders) o.encode(w);
+    if (ft) {
+      w.put(ft);
+      w.put_vec(evicted);
+      w.put_vec(adopt);
+    }
   }
   static Instructions decode(msg::Reader& r) {
     Instructions ins;
@@ -104,6 +135,11 @@ struct Instructions {
     ins.orders.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
       ins.orders.push_back(MoveOrder::decode(r));
+    if (r.remaining() > 0) {
+      ins.ft = r.get<std::uint8_t>();
+      ins.evicted = r.get_vec<std::int32_t>();
+      ins.adopt = r.get_vec<std::int32_t>();
+    }
     return ins;
   }
 };

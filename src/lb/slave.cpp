@@ -26,6 +26,13 @@ SlaveAgent::SlaveAgent(sim::Context& ctx, sim::Pid master, int rank,
       until_next_(std::max(1.0, first_window_units)) {
   NOWLB_CHECK(ops_.remaining && ops_.pack && ops_.unpack,
               "WorkOps must be fully populated");
+  if (lb_.fault_tolerance()) {
+    NOWLB_CHECK(ops_.inventory && ops_.adopt,
+                "fault tolerance needs WorkOps inventory + adopt");
+  }
+  transport_ = std::make_unique<Transport>(
+      ctx_, lb_.transport,
+      std::vector<sim::Tag>{kTagReport, kTagInstr, kTagMove}, lb_.check);
 }
 
 void SlaveAgent::begin_phase() {
@@ -57,6 +64,10 @@ Task<> SlaveAgent::send_report() {
   rep.move_time_s = to_seconds(move_time_accum_);
   rep.moved_units = moved_units_accum_;
   rep.done = final_ ? 1 : 0;
+  if (lb_.fault_tolerance()) {
+    rep.ft = 1;
+    rep.inventory = ops_.inventory();
+  }
   move_time_accum_ = 0;
   moved_units_accum_ = 0;
   NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " report r" << round_
@@ -67,7 +78,7 @@ Task<> SlaveAgent::send_report() {
   if (lb_.check != nullptr) {
     lb_.check->on_slave_report(ctx_.now(), rank_, rep);
   }
-  co_await msg::send(ctx_, master_, kTagReport, rep);
+  co_await transport_->send(master_, kTagReport, msg::encode(rep));
 
   awaiting_instr_ = true;
   units_since_ = 0;
@@ -95,12 +106,57 @@ Task<> SlaveAgent::apply_instr_body(const Instructions& ins) {
   if (lb_.check != nullptr) {
     lb_.check->on_slave_instructions(ctx_.now(), rank_, ins);
   }
+  if (ins.ft && (!ins.evicted.empty() || !ins.adopt.empty())) {
+    co_await handle_ft(ins);
+  }
   if (!ins.orders.empty()) {
     co_await apply_moves(ins.orders);
   }
   phase_done_ = ins.phase_done != 0;
   until_next_ = ins.units_until_next;
   last_overhead_ = overhead_accum_;
+  // A phase_done can be the last thing this agent ever applies: if the app
+  // body exits its phase loop and destroys us, unacked sends (the final
+  // report the master is collecting, a move a peer waits on) would lose
+  // their retransmit timers. Settle them while still alive; acks are
+  // consumed by the peer's tap, so this cannot deadlock cross-slave.
+  if (phase_done_) co_await transport_->drain();
+}
+
+Task<> SlaveAgent::handle_ft(const Instructions& ins) {
+  for (const std::int32_t dead_rank : ins.evicted) {
+    NOWLB_CHECK(dead_rank != rank_, "rank " << rank_ << " told of its own "
+                                            << "eviction");
+    const sim::Pid dead = pid_of(dead_rank);
+    transport_->blackhole(dead);
+    // Drop in-flight moves involving the dead peer: ordered receives will
+    // never arrive, and a stale message from it must not be integrated
+    // (the master reassigns those units from the census).
+    std::erase_if(pending_recvs_, [&](const MoveOrder& o) {
+      return o.peer_rank == dead_rank;
+    });
+    std::erase_if(stashed_moves_,
+                  [&](const sim::Message& m) { return m.src == dead; });
+    NOWLB_LOG(Info, "lb") << "rank " << rank_ << " notified: rank "
+                          << dead_rank << " evicted";
+  }
+  if (!ins.evicted.empty()) {
+    // Settle surviving in-flight moves so the census carried by the next
+    // report counts every unit exactly once, nowhere twice, none in
+    // flight.
+    co_await drain_pending();
+  }
+  if (!ins.adopt.empty()) {
+    const sim::Time t0 = ctx_.now();
+    co_await ops_.adopt(ins.adopt);
+    if (lb_.check != nullptr) {
+      std::vector<int> ids(ins.adopt.begin(), ins.adopt.end());
+      lb_.check->on_adopted(ctx_.now(), rank_, ids);
+    }
+    move_time_accum_ += ctx_.now() - t0;
+    NOWLB_LOG(Info, "lb") << "rank " << rank_ << " adopted "
+                          << ins.adopt.size() << " orphaned units";
+  }
 }
 
 Task<> SlaveAgent::hook() {
@@ -108,7 +164,9 @@ Task<> SlaveAgent::hook() {
   if (!pending_recvs_.empty()) co_await poll_pending();
 
   if (awaiting_instr_) {
-    if (lb_.pipelined) {
+    if (held_instr_) {
+      co_await handle_instr(co_await recv_instr());
+    } else if (lb_.pipelined) {
       // Pipelined: poll; keep computing if instructions haven't arrived.
       if (auto m = ctx_.try_recv(kTagInstr, master_)) {
         const Time t0 = ctx_.now();
@@ -119,8 +177,7 @@ Task<> SlaveAgent::hook() {
     } else {
       // Synchronous: the full master round trip is on the critical path.
       const Time t0 = ctx_.now();
-      Instructions ins =
-          co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+      Instructions ins = co_await recv_instr();
       overhead_accum_ += ctx_.now() - t0;
       co_await handle_instr(ins);
     }
@@ -129,12 +186,20 @@ Task<> SlaveAgent::hook() {
     co_await send_report();
     if (!lb_.pipelined) {
       const Time t0 = ctx_.now();
-      Instructions ins =
-          co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+      Instructions ins = co_await recv_instr();
       overhead_accum_ += ctx_.now() - t0;
       co_await handle_instr(ins);
     }
   }
+}
+
+Task<Instructions> SlaveAgent::recv_instr() {
+  if (held_instr_) {
+    Instructions ins = std::move(*held_instr_);
+    held_instr_.reset();
+    co_return ins;
+  }
+  co_return co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
 }
 
 Task<> SlaveAgent::drain() {
@@ -145,8 +210,16 @@ Task<> SlaveAgent::drain() {
   // Out of local work. Incoming transfers are the most likely source of
   // more; block on those first.
   if (!pending_recvs_.empty()) {
+    const std::size_t before = pending_recvs_.size();
     co_await recv_one_pending();
-    co_return;
+    const bool stalled = lb_.fault_tolerance() &&
+                         pending_recvs_.size() == before && !phase_done_;
+    if (!stalled) co_return;
+    // The bounded fault-tolerant wait timed out: nothing arrived at all, so
+    // the donor may be dead and the master mid-collection, waiting for us.
+    // Fall through to a report (`remaining` counts the pending orders) so
+    // the master sees this rank alive and can evict the real crash — the
+    // eviction notice then rides the answering instructions.
   }
   if (!awaiting_instr_) {
     co_await send_report();
@@ -156,8 +229,7 @@ Task<> SlaveAgent::drain() {
   // The wait here is idleness caused by imbalance, not interaction
   // overhead or computation — excluded from both measurements.
   const Time w0 = ctx_.now();
-  Instructions ins =
-      co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+  Instructions ins = co_await recv_instr();
   app_blocked_accum_ += ctx_.now() - w0;
   co_await handle_instr(ins);
 }
@@ -167,8 +239,7 @@ Task<> SlaveAgent::finalize() {
   // answers every non-final report, and its orders may have peers blocked
   // on transfers from us.
   if (awaiting_instr_) {
-    Instructions ins =
-        co_await msg::recv<Instructions>(ctx_, kTagInstr, master_);
+    Instructions ins = co_await recv_instr();
     co_await handle_instr(ins);
   }
   co_await drain_pending();
@@ -178,6 +249,9 @@ Task<> SlaveAgent::finalize() {
   final_ = true;
   co_await send_report();
   awaiting_instr_ = false;  // the master never answers a final report
+  // Retransmit the final report until acked: returning tears the transport
+  // down, and a dropped done-flag would leave the master collecting forever.
+  co_await transport_->drain();
 }
 
 Task<> SlaveAgent::integrate_move(const MoveOrder& order, sim::Message m) {
@@ -258,6 +332,50 @@ Task<> SlaveAgent::accept_runtime(sim::Message m) {
 
 Task<> SlaveAgent::recv_one_pending() {
   NOWLB_CHECK(!pending_recvs_.empty());
+  if (lb_.fault_tolerance()) {
+    // Under a heartbeat regime a blocking move receive must stay
+    // interruptible: the sender may have crashed, and the order that would
+    // never be satisfied is erased by the eviction notice riding the next
+    // instructions. Block on any runtime message and dispatch — a move
+    // integrates (for whichever order it matches), an instruction applies.
+    // The wait is bounded: if nothing at all arrives (a dead donor sends
+    // nothing, and the master sends nothing mid-collection because it is
+    // waiting for *us*), give up and let drain() fall through to a report
+    // so the master can tell a blocked-but-live rank from a crashed one.
+    const std::size_t before = pending_recvs_.size();
+    if (auto stashed = take_stashed(pid_of(pending_recvs_.front().peer_rank))) {
+      const MoveOrder o = pending_recvs_.front();
+      pending_recvs_.erase(pending_recvs_.begin());
+      co_await integrate_move(o, std::move(*stashed));
+      co_return;
+    }
+    const Time deadline = ctx_.now() + lb_.heartbeat_timeout / 4;
+    while (pending_recvs_.size() == before) {
+      const Time w0 = ctx_.now();
+      // The deadline applies even when a phase_done is already held: a
+      // pre-sent phase_done can race a crash, leaving this rank waiting on
+      // a settling move whose donor is dead (the master, mid final
+      // collection, is in turn waiting for our final report).
+      std::optional<sim::Message> m =
+          co_await ctx_.recv_until(sim::kAnyTag, sim::kAnyPid, deadline);
+      app_blocked_accum_ += ctx_.now() - w0;
+      if (!m) co_return;  // timed out; drain() falls through to a report
+      if (m->tag == kTagInstr && !awaiting_instr_) {
+        Instructions ins = msg::decode<Instructions>(m->payload);
+        if (ins.phase_done) {
+          // The master ended the phase off our previous report while an
+          // empty settling transfer was still heading our way; this
+          // phase_done answers the report we have not sent yet. Hold it
+          // for recv_instr() and keep waiting for the move.
+          NOWLB_CHECK(!held_instr_, "two held phase_done instructions");
+          held_instr_ = std::move(ins);
+          continue;
+        }
+      }
+      co_await accept_runtime(std::move(*m));
+    }
+    co_return;
+  }
   const MoveOrder o = pending_recvs_.front();
   pending_recvs_.erase(pending_recvs_.begin());
   if (auto stashed = take_stashed(pid_of(o.peer_rank))) {
@@ -333,7 +451,8 @@ Task<> SlaveAgent::apply_moves(const std::vector<MoveOrder>& orders) {
       units_sent_ += actual;
       NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " sends " << actual
                              << " units to rank " << o.peer_rank;
-      co_await ctx_.send(pid_of(o.peer_rank), kTagMove, std::move(payload));
+      co_await transport_->send(pid_of(o.peer_rank), kTagMove,
+                                std::move(payload));
       move_time_accum_ += ctx_.now() - t0;
     }
   }

@@ -15,12 +15,16 @@
 // generates for the application's data layout.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "lb/config.hpp"
 #include "lb/protocol.hpp"
+#include "lb/transport.hpp"
 #include "sim/context.hpp"
 #include "sim/task.hpp"
 
@@ -42,6 +46,13 @@ class SlaveAgent {
     /// Integrate a received movement payload; returns units received.
     std::function<sim::Task<int>(const sim::Bytes& payload, int peer_rank)>
         unpack;
+    /// Global ids of the work units this rank currently owns — the
+    /// inventory census fault recovery is built on. Required (with adopt)
+    /// only under a heartbeat regime.
+    std::function<std::vector<std::int32_t>()> inventory;
+    /// Reconstruct orphaned units (from replicated / recomputable state)
+    /// and take ownership of them (fault recovery adopt order).
+    std::function<sim::Task<>(const std::vector<std::int32_t>& ids)> adopt;
   };
 
   SlaveAgent(sim::Context& ctx, sim::Pid master, int rank,
@@ -100,6 +111,10 @@ class SlaveAgent {
   sim::Task<> send_report();
   sim::Task<> handle_instr(const Instructions& ins);
   sim::Task<> apply_instr_body(const Instructions& ins);
+  /// Apply the fault-tolerance trailer: blackhole evicted peers, drop
+  /// undeliverable in-flight moves, settle survivor moves (so the next
+  /// report's census is in-flight-free), adopt orphaned units.
+  sim::Task<> handle_ft(const Instructions& ins);
   /// Execute the send half of the orders; queue the receive half.
   sim::Task<> apply_moves(const std::vector<MoveOrder>& orders);
   /// Charge overhead, unpack, and account one arrived transfer.
@@ -111,6 +126,9 @@ class SlaveAgent {
   bool first_for_peer(std::size_t index) const;
   /// Blocking receive of one queued incoming transfer.
   sim::Task<> recv_one_pending();
+  /// Next instruction message: a held early phase_done if one exists (see
+  /// recv_one_pending's fault-tolerant wildcard loop), else a mailbox recv.
+  sim::Task<Instructions> recv_instr();
   /// Blocking receive of every queued incoming transfer (pre-report sync).
   sim::Task<> drain_pending();
   /// Non-blocking: integrate any queued transfers whose message arrived.
@@ -129,6 +147,7 @@ class SlaveAgent {
   std::vector<sim::Pid> slave_pids_;
   LbConfig lb_;
   WorkOps ops_;
+  std::unique_ptr<Transport> transport_;
 
   int round_ = 0;              // round of the last report sent
   bool awaiting_instr_ = false;
@@ -139,6 +158,9 @@ class SlaveAgent {
   std::vector<MoveOrder> pending_recvs_;
   /// Out-of-band move messages accepted before their order was known.
   std::vector<sim::Message> stashed_moves_;
+  /// A phase_done picked up by the fault-tolerant wildcard receive before
+  /// the report it answers was sent; replayed by recv_instr().
+  std::optional<Instructions> held_instr_;
   /// Round of a pipelined (pre-sent) instruction that a wildcard receive
   /// picked up and applied before its matching report went out; that
   /// report then completes the round with nothing left to wait for.

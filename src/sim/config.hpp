@@ -30,6 +30,29 @@ struct NetConfig {
   Time local_latency = 10 * kMicrosecond;
   /// Per-message protocol header bytes (affects transmission time).
   std::size_t header_bytes = 64;
+
+  // ---- fault injection (DESIGN.md §9), all off by default ----
+  // Faults apply only to cross-host messages whose tag falls inside
+  // [fault_tag_lo, fault_tag_hi]; local (same-host) delivery is a reliable
+  // kernel queue. A dropped message still occupies the sender's link (it
+  // was transmitted, then lost); a duplicated one arrives twice.
+  /// Probability a message is lost after transmission.
+  double drop_prob = 0.0;
+  /// Probability a second copy of a message is delivered.
+  double dup_prob = 0.0;
+  /// Extra delivery delay, uniform in [0, max_extra_delay] per message —
+  /// reorders messages that left on different links.
+  Time max_extra_delay = 0;
+  /// Seed for the network's private fault stream (drawn from only when a
+  /// fault mode is enabled, so fault-free runs are bit-identical).
+  std::uint64_t fault_seed = 0x5eed;
+  /// Inclusive tag range eligible for faults; empty (lo > hi) means all.
+  int fault_tag_lo = 0;
+  int fault_tag_hi = -1;
+
+  bool faulty() const {
+    return drop_prob > 0 || dup_prob > 0 || max_extra_delay > 0;
+  }
 };
 
 struct MsgConfig {

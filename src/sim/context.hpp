@@ -41,12 +41,19 @@ struct ComputeAwaiter {
 };
 
 /// Suspends a process for `dt` of virtual wall time without consuming CPU.
+/// The wakeup is routed through the process so a killed sleeper is never
+/// resumed (its frame outlives it, suspended, until world teardown).
 struct SleepAwaiter {
+  Process& p;
   Engine& eng;
   Time dt;
   bool await_ready() const noexcept { return dt <= 0; }
   void await_suspend(std::coroutine_handle<> h) {
-    eng.schedule_after(dt, [h] { h.resume(); });
+    p.resume_point = h;
+    Process* pp = &p;
+    eng.schedule_after(dt, [pp] {
+      if (!pp->killed()) pp->resume();
+    });
   }
   void await_resume() const noexcept {}
 };
@@ -68,6 +75,36 @@ struct RecvAwaiter {
     });
   }
   Message await_resume() { return std::move(*msg); }
+};
+
+/// Suspends until a matching message arrives or `deadline` passes,
+/// whichever is first; resumes with nullopt on timeout. The failure
+/// detector's primitive (Master heartbeat deadline, DESIGN.md §9).
+struct RecvTimeoutAwaiter {
+  Process& p;
+  Engine& eng;
+  Tag tag;
+  Pid src;
+  Time deadline;
+  std::optional<Message> msg;
+  Engine::EventId timer;
+  bool await_ready() {
+    msg = p.mailbox().try_pop(tag, src);
+    return msg.has_value() || eng.now() >= deadline;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    p.mailbox().set_pending(tag, src, [this, h](Message m) {
+      eng.cancel(timer);
+      msg = std::move(m);
+      h.resume();
+    });
+    Process* pp = &p;
+    timer = eng.schedule_at(deadline, [this, pp, h] {
+      pp->mailbox().cancel_pending();
+      if (!pp->killed()) h.resume();
+    });
+  }
+  std::optional<Message> await_resume() { return std::move(msg); }
 };
 
 class Context {
@@ -95,6 +132,11 @@ class Context {
 
   /// Blocking selective receive; charges receive overhead as CPU.
   Task<Message> recv(Tag tag = kAnyTag, Pid src = kAnyPid);
+
+  /// Selective receive with an absolute deadline: resumes with nullopt
+  /// if no matching message arrives by `deadline`. Charges receive
+  /// overhead only when a message is delivered.
+  Task<std::optional<Message>> recv_until(Tag tag, Pid src, Time deadline);
 
   /// Receive without charging software overhead (protocol internals).
   RecvAwaiter recv_raw(Tag tag = kAnyTag, Pid src = kAnyPid) {

@@ -19,6 +19,16 @@ void Host::submit(Process& p, Time demand) {
   dispatch();
 }
 
+void Host::remove(Process& p) {
+  for (auto it = runq_.begin(); it != runq_.end(); ++it) {
+    if (*it == &p) {
+      runq_.erase(it);
+      break;
+    }
+  }
+  p.remaining_demand = 0;
+}
+
 void Host::dispatch() {
   if (running_ != nullptr || runq_.empty()) return;
   running_ = runq_.front();
@@ -41,6 +51,13 @@ void Host::on_slice_end() {
   p->remaining_demand -= slice_len_;
   running_ = nullptr;
 
+  if (p->killed()) {
+    // Crashed mid-slice: the burned CPU is accounted, the continuation is
+    // abandoned.
+    p->remaining_demand = 0;
+    dispatch();
+    return;
+  }
   if (p->remaining_demand > 0) {
     runq_.push_back(p);
     dispatch();

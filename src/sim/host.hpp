@@ -28,6 +28,11 @@ class Host {
   /// is resumed once it has accumulated `demand` of CPU time.
   void submit(Process& p, Time demand);
 
+  /// Forget a killed process: drop it from the run queue and its pending
+  /// demand. If it is mid-slice the slice completes (the crash takes CPU
+  /// effect at the next scheduler boundary) but it is never resumed.
+  void remove(Process& p);
+
   /// CPU consumed by `p`, including the in-flight portion of the current
   /// slice — the simulator's getrusage().
   Time cpu_used(const Process& p) const;

@@ -7,6 +7,19 @@
 namespace nowlb::sim {
 
 void Mailbox::push(Message m) {
+  if (closed_) {
+    ++discarded_;
+    return;
+  }
+  if (tap_ && tap_(m)) return;
+  deliver(std::move(m));
+}
+
+void Mailbox::deliver(Message m) {
+  if (closed_) {
+    ++discarded_;
+    return;
+  }
   if (waiting_ && matches(m, want_tag_, want_src_)) {
     waiting_ = false;
     auto handler = std::move(handler_);
@@ -35,6 +48,30 @@ void Mailbox::set_pending(Tag tag, Pid src,
   want_tag_ = tag;
   want_src_ = src;
   handler_ = std::move(handler);
+}
+
+void Mailbox::cancel_pending() {
+  waiting_ = false;
+  handler_ = nullptr;
+}
+
+void Mailbox::set_tap(Tap tap) {
+  tap_ = std::move(tap);
+  if (!tap_ || q_.empty()) return;
+  // Re-filter what already arrived: a message the tap would have consumed
+  // (a transport envelope delivered before the transport existed) must not
+  // stay visible in its raw form.
+  std::deque<Message> old;
+  old.swap(q_);
+  for (auto& m : old) push(std::move(m));
+}
+
+void Mailbox::close() {
+  closed_ = true;
+  discarded_ += q_.size();
+  q_.clear();
+  cancel_pending();
+  tap_ = nullptr;
 }
 
 }  // namespace nowlb::sim

@@ -7,6 +7,13 @@
 
 namespace nowlb::sim {
 
+bool Network::fault_eligible(const Message& m, int src_host,
+                             int dst_host) const {
+  if (!cfg_.faulty() || src_host == dst_host) return false;
+  if (cfg_.fault_tag_lo > cfg_.fault_tag_hi) return true;  // empty = all
+  return m.tag >= cfg_.fault_tag_lo && m.tag <= cfg_.fault_tag_hi;
+}
+
 void Network::post(Message m, int src_host, Process& dst, int dst_host) {
   ++messages_;
   bytes_ += m.payload.size();
@@ -25,7 +32,33 @@ void Network::post(Message m, int src_host, Process& dst, int dst_host) {
     arrival = busy + cfg_.latency;
   }
 
+  // Fault injection. Draw order is fixed (drop, dup, delay) so a run is a
+  // pure function of (config, fault_seed). A dropped message has already
+  // paid for its link occupancy above: it was transmitted, then lost.
+  bool duplicate = false;
+  if (fault_eligible(m, src_host, dst_host)) {
+    const bool drop = fault_rng_.next_double() < cfg_.drop_prob;
+    duplicate = fault_rng_.next_double() < cfg_.dup_prob;
+    if (cfg_.max_extra_delay > 0) {
+      arrival += static_cast<Time>(
+          fault_rng_.next_double() *
+          static_cast<double>(cfg_.max_extra_delay));
+    }
+    if (drop) {
+      ++dropped_;
+      return;
+    }
+  }
+
   Process* target = &dst;
+  if (duplicate) {
+    ++duplicated_;
+    // The copy trails the original by one wire latency (a NIC-level
+    // retransmit artefact); it does not occupy the link again.
+    eng_.schedule_at(arrival + cfg_.latency, [target, msg = m]() mutable {
+      target->mailbox().push(std::move(msg));
+    });
+  }
   eng_.schedule_at(arrival, [target, msg = std::move(m)]() mutable {
     target->mailbox().push(std::move(msg));
   });

@@ -4,6 +4,12 @@
 // link at the configured bandwidth, then arrive after the wire latency.
 // Local (same-host) messages bypass the link. Delivery pushes into the
 // destination mailbox, waking any matching pending receive.
+//
+// With NetConfig fault injection enabled the network becomes lossy for the
+// configured tag range: messages may be dropped after transmission,
+// delivered twice, or delayed (reordered). The fault stream draws from a
+// private seeded Rng that is consumed only when faults are on, so a
+// fault-free run dispatches the exact same event sequence as before.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
+#include "util/rng.hpp"
 
 namespace nowlb::sim {
 
@@ -19,7 +26,8 @@ class Process;
 
 class Network {
  public:
-  Network(Engine& eng, NetConfig cfg) : eng_(eng), cfg_(cfg) {}
+  Network(Engine& eng, NetConfig cfg)
+      : eng_(eng), cfg_(cfg), fault_rng_(cfg.fault_seed) {}
 
   /// Enqueue `m` for delivery from src_host to dst (on dst_host) starting
   /// at the current virtual time.
@@ -27,13 +35,22 @@ class Network {
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t payload_bytes_sent() const { return bytes_; }
+  /// Messages transmitted but lost before delivery (fault injection).
+  std::uint64_t messages_dropped() const { return dropped_; }
+  /// Extra copies delivered by duplication faults.
+  std::uint64_t messages_duplicated() const { return duplicated_; }
 
  private:
+  bool fault_eligible(const Message& m, int src_host, int dst_host) const;
+
   Engine& eng_;
   NetConfig cfg_;
+  Rng fault_rng_;
   std::unordered_map<int, Time> link_busy_until_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
 };
 
 }  // namespace nowlb::sim

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/mailbox.hpp"
 #include "sim/task.hpp"
@@ -35,7 +36,16 @@ class Process {
 
   bool essential() const { return essential_; }
   bool finished() const { return finished_; }
+  /// True after World::kill: the coroutine is never resumed again, the
+  /// mailbox discards arrivals, and the scheduler forgets the process.
+  bool killed() const { return killed_; }
   std::exception_ptr error() const { return error_; }
+
+  /// Invoked synchronously when the process is killed (runtime layers
+  /// cancel their timers here — a crashed host stops transmitting).
+  void add_kill_hook(std::function<void()> hook) {
+    kill_hooks_.push_back(std::move(hook));
+  }
 
   /// CPU time consumed so far, excluding any in-flight slice (Host adds
   /// the in-flight portion; use World::cpu_used for the full figure).
@@ -72,6 +82,8 @@ class Process {
   std::unique_ptr<Context> ctx_;
   Task<> root_;
   bool finished_ = false;
+  bool killed_ = false;
+  std::vector<std::function<void()>> kill_hooks_;
   std::exception_ptr error_;
 };
 

@@ -51,7 +51,7 @@ Time Context::now() const { return world_.now(); }
 Recorder& Context::recorder() { return world_.recorder(); }
 
 SleepAwaiter Context::sleep(Time dt) {
-  return SleepAwaiter{world_.engine(), dt};
+  return SleepAwaiter{process_, world_.engine(), dt};
 }
 
 Task<> Context::send(Pid dst, Tag tag, Bytes payload) {
@@ -69,6 +69,14 @@ Task<> Context::send(Pid dst, Tag tag, Bytes payload) {
 Task<Message> Context::recv(Tag tag, Pid src) {
   Message m = co_await recv_raw(tag, src);
   co_await compute(world_.config().msg.recv_overhead);
+  co_return m;
+}
+
+Task<std::optional<Message>> Context::recv_until(Tag tag, Pid src,
+                                                Time deadline) {
+  std::optional<Message> m = co_await RecvTimeoutAwaiter{
+      process_, world_.engine(), tag, src, deadline, std::nullopt, {}};
+  if (m) co_await compute(world_.config().msg.recv_overhead);
   co_return m;
 }
 
@@ -119,6 +127,26 @@ void World::on_process_done(Process& p) {
   NOWLB_LOG(Debug, "sim") << "process " << p.name() << " finished at t="
                           << to_seconds(engine_.now()) << "s";
   if (p.essential()) {
+    NOWLB_CHECK(essential_outstanding_ > 0);
+    if (--essential_outstanding_ == 0) engine_.stop();
+  }
+}
+
+void World::kill(Pid pid) {
+  Process& p = *processes_.at(pid);
+  if (p.killed_ || p.finished_) return;
+  p.killed_ = true;
+  NOWLB_LOG(Info, "sim") << "process " << p.name() << " killed at t="
+                         << to_seconds(engine_.now()) << "s";
+  // Hooks run first so runtime layers (transports) stop transmitting
+  // before the mailbox closes.
+  for (auto& hook : p.kill_hooks_) hook();
+  p.kill_hooks_.clear();
+  p.mailbox_.close();
+  p.host_.remove(p);
+  p.finished_ = true;
+  for (WorldObserver* o : observers_) o->on_process_done(engine_.now(), p);
+  if (p.essential_) {
     NOWLB_CHECK(essential_outstanding_ > 0);
     if (--essential_outstanding_ == 0) engine_.stop();
   }

@@ -64,6 +64,13 @@ class World {
   /// CPU time consumed by a process so far (getrusage equivalent).
   Time cpu_used(Pid pid) const;
 
+  /// Crash-fault injection: the process is never resumed again, its
+  /// mailbox closes (future arrivals are discarded), the scheduler
+  /// forgets it, and its kill hooks run so runtime layers cancel their
+  /// timers. Idempotent. A killed essential process counts as finished
+  /// so the run loop can still terminate.
+  void kill(Pid pid);
+
   /// Run until every essential process has finished (or a process failed,
   /// in which case the error is rethrown here).
   void run();

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "lb/master.hpp"
+
 namespace nowlb::lb {
 namespace {
 
@@ -68,6 +70,59 @@ TEST(TrendFilter, ConstantInputIsFixedPoint) {
   TrendFilter f;
   f.update(42.0);
   for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(f.update(42.0), 42.0);
+}
+
+TEST(TrendFilter, ForceOverridesWithoutBuildingATrend) {
+  TrendFilter f;
+  for (int i = 0; i < 5; ++i) f.update(100.0 + i);  // direction run going up
+  f.force(10.0);
+  EXPECT_DOUBLE_EQ(f.value(), 10.0);
+  EXPECT_EQ(f.trend_run(), 0);
+}
+
+// The master updates a slave's rate only from informative windows — the
+// gate that keeps a missing report's zeroed placeholder (elapsed 0) out of
+// the units/elapsed division. These mirror the cases process_measurements
+// sees with a crashed or silent rank.
+TEST(InformativeWindow, MissingReportPlaceholderIsNotInformative) {
+  StatusReport rep{};  // exactly what an unheard rank contributes
+  EXPECT_FALSE(informative_window(rep));
+}
+
+TEST(InformativeWindow, DegenerateElapsedIsNotInformative) {
+  StatusReport rep{};
+  rep.units_done = 5;
+  rep.remaining = 3;
+  rep.elapsed_s = 0.0;  // would divide by ~zero
+  EXPECT_FALSE(informative_window(rep));
+  rep.elapsed_s = 1e-5;  // sub-threshold window
+  EXPECT_FALSE(informative_window(rep));
+}
+
+TEST(InformativeWindow, IdleSlaveWindowIsNotInformative) {
+  StatusReport rep{};
+  rep.units_done = 0;  // spun balance rounds with no work
+  rep.remaining = 0;
+  rep.elapsed_s = 0.5;
+  EXPECT_FALSE(informative_window(rep));
+}
+
+TEST(InformativeWindow, WorkingWindowIsInformative) {
+  StatusReport rep{};
+  rep.units_done = 12;
+  rep.remaining = 4;
+  rep.elapsed_s = 0.25;
+  EXPECT_TRUE(informative_window(rep));
+}
+
+TEST(InformativeWindow, StarvedButBusyWindowIsInformative) {
+  // Zero units completed but work still queued: the window measured a
+  // genuinely slow slave, not an idle one.
+  StatusReport rep{};
+  rep.units_done = 0;
+  rep.remaining = 6;
+  rep.elapsed_s = 0.25;
+  EXPECT_TRUE(informative_window(rep));
 }
 
 }  // namespace
