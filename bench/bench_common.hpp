@@ -1,14 +1,54 @@
 // Shared helpers for the figure/table reproduction binaries.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <string>
 
 #include "exp/harness.hpp"
 #include "load/generators.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace nowlb::bench {
+
+/// Wire the standard `--trace=FILE` / `--metrics=FILE` flags to a flight
+/// recorder shared across the whole sweep. Returns the hub to install as
+/// ExperimentConfig::obs, or nullptr when neither flag is present (runs
+/// then pay no recording cost at all).
+inline obs::Observability* flight_recorder(const Cli& cli,
+                                           obs::Observability& hub) {
+  return (cli.has("trace") || cli.has("metrics")) ? &hub : nullptr;
+}
+
+/// Dump the recorder per the `--trace` / `--metrics` flags. Status goes to
+/// stderr only: the figure tables on stdout stay byte-identical whether
+/// tracing is on or off (CI compares them).
+inline void dump_flight_recorder(const Cli& cli,
+                                 const obs::Observability& hub) {
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) {
+    if (obs::write_chrome_trace_file(trace_path, hub.trace)) {
+      std::cerr << "trace: wrote " << hub.trace.events().size()
+                << " events to " << trace_path << '\n';
+    } else {
+      std::cerr << "trace: failed to write " << trace_path << '\n';
+    }
+  }
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (out) {
+      out << hub.metrics.prometheus_text();
+      std::cerr << "metrics: wrote " << metrics_path << '\n';
+    } else {
+      std::cerr << "metrics: failed to write " << metrics_path << '\n';
+    }
+  }
+}
 
 /// Paper-style repetition: >= 3 measurements, mean with range bars.
 /// Seeds vary per repetition (stochastic loads differ; deterministic

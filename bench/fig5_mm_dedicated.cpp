@@ -16,6 +16,11 @@ int main(int argc, char** argv) {
   apps::MmConfig mm;
   mm.n = static_cast<int>(cli.get_int("n", 500));
 
+  // Optional flight recorder shared across the whole sweep
+  // (--trace=FILE / --metrics=FILE). Never touches stdout.
+  obs::Observability hub;
+  obs::Observability* obs = bench::flight_recorder(cli, hub);
+
   Table t("Fig 5: MM " + std::to_string(mm.n) + "x" + std::to_string(mm.n) +
           " dedicated homogeneous (paper: seq ~250 s)");
   t.header({"slaves", "seq(s)", "par(s)", "par+DLB(s)", "speedup",
@@ -27,6 +32,7 @@ int main(int argc, char** argv) {
     cfg.slaves = s;
     cfg.world = exp::paper_world();
     cfg.lb = exp::paper_lb();
+    cfg.obs = obs;
 
     mm.use_lb = false;
     auto par = bench::measure(reps, cfg, [&](const exp::ExperimentConfig& c) {
@@ -48,5 +54,6 @@ int main(int argc, char** argv) {
         .cell(dlb.efficiency.mean(), 2);
   }
   bench::print_table(t);
+  bench::dump_flight_recorder(cli, hub);
   return 0;
 }

@@ -70,17 +70,26 @@ int main(int argc, char** argv) {
   print_normalized("work assignment (normalized to equal share)", work,
                    equal_share);
 
-  // Numeric series for plotting.
+  // Numeric series for plotting, sourced straight from the decision
+  // ledger: one row per round where the planner ran.
   Table t("Fig 9 series (slave 0)");
   t.header({"t(s)", "raw", "adjusted", "work"});
-  if (raw != nullptr) {
-    for (std::size_t i = 0; i < raw->size(); ++i) {
-      t.row()
-          .cell(raw->t[i], 1)
-          .cell(raw->v[i] / max_rate, 3)
-          .cell(adj->v[i] / max_rate, 3)
-          .cell(work->v[i] / equal_share, 3);
+  for (const auto& rec : trace.rounds) {
+    switch (rec.gate) {
+      case obs::Gate::kMove:
+      case obs::Gate::kBelowThreshold:
+      case obs::Gate::kNotProfitable:
+      case obs::Gate::kHold:
+        break;
+      default:
+        continue;  // wind-down / frozen rounds carry no planner output
     }
+    if (rec.raw_rates.empty()) continue;
+    t.row()
+        .cell(sim::to_seconds(rec.t), 1)
+        .cell(rec.raw_rates[0] / max_rate, 3)
+        .cell(rec.rates[0] / max_rate, 3)
+        .cell(static_cast<double>(rec.target[0]) / equal_share, 3);
   }
   bench::print_table(t);
   return 0;

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Schema check for the flight recorder's Chrome trace_event JSON.
+
+Usage: validate_trace.py TRACE.json
+
+Validates that the file is well-formed JSON, uses the trace_event object
+format ({"traceEvents": [...]}), and that every event satisfies the subset
+of the spec the exporter emits:
+
+  * metadata events (ph=M): process_name / thread_name with args.name
+  * instant events (ph=i): scope s="t", numeric non-negative ts
+  * complete events (ph=X): numeric non-negative ts and dur
+  * every event carries integer pid/tid and an args object
+  * non-metadata events are sorted by ts (Perfetto does not require this,
+    but the exporter guarantees it)
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py TRACE.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail('top level must be an object with a "traceEvents" array')
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail('"traceEvents" must be a non-empty array')
+
+    last_ts = None
+    counts = {"M": 0, "i": 0, "X": 0}
+    for i, e in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in counts:
+            fail(f"{where}: unexpected ph={ph!r}")
+        counts[ph] += 1
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                fail(f"{where}: {key} must be an integer")
+        if not isinstance(e.get("args"), dict):
+            fail(f"{where}: missing args object")
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                fail(f"{where}: metadata name {e.get('name')!r}")
+            if not isinstance(e["args"].get("name"), str):
+                fail(f"{where}: metadata args.name must be a string")
+            continue
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"{where}: missing event name")
+        if not isinstance(e.get("cat"), str):
+            fail(f"{where}: missing cat")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{where}: ts {ts} goes backwards (prev {last_ts})")
+        last_ts = ts
+        if ph == "i":
+            if e.get("s") != "t":
+                fail(f"{where}: instant must have scope s=\"t\"")
+        else:  # X
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: bad dur {dur!r}")
+        for k, v in e["args"].items():
+            if not isinstance(v, (int, float)):
+                fail(f"{where}: arg {k!r} must be numeric, got {v!r}")
+
+    if counts["i"] + counts["X"] == 0:
+        fail("trace contains only metadata")
+    print(
+        f"validate_trace: ok — {counts['M']} metadata, {counts['i']} instant,"
+        f" {counts['X']} complete event(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

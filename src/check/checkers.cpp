@@ -4,6 +4,7 @@
 #include <numeric>
 #include <string>
 
+#include "obs/ledger.hpp"
 #include "sim/world.hpp"
 
 namespace nowlb::check {
@@ -340,6 +341,68 @@ void TransportChecker::on_transport_deliver(sim::Time t, sim::Pid src,
 void TransportChecker::on_transport_gave_up(sim::Time, sim::Pid, sim::Pid,
                                             int) {
   ++gave_ups_;
+}
+
+// ---------------------------------------------------------- LedgerChecker
+
+LedgerChecker::LedgerChecker(const obs::DecisionLedger* ledger)
+    : ledger_(ledger), start_(ledger->records().size()) {}
+
+void LedgerChecker::on_master_reports(sim::Time, int,
+                                      const std::vector<lb::StatusReport>&,
+                                      const std::vector<bool>&) {
+  ++collections_;
+}
+
+void LedgerChecker::on_run_end(sim::Time t) {
+  const auto& recs = ledger_->records();
+  const std::size_t n = recs.size() - start_;
+  if (n != collections_) {
+    fail(t, "ledger holds " + std::to_string(n) + " record(s) for " +
+                std::to_string(collections_) + " report collection(s)");
+  }
+  for (std::size_t i = start_; i < recs.size(); ++i) {
+    const obs::DecisionRecord& rec = recs[i];
+    const std::string where = "round " + std::to_string(rec.round) + " (" +
+                              obs::gate_name(rec.gate) + ")";
+    const std::size_t ranks = rec.remaining.size();
+    if (rec.target.size() != ranks) {
+      fail(rec.t, where + ": target has " + std::to_string(rec.target.size()) +
+                      " rank(s), remaining has " + std::to_string(ranks));
+      continue;
+    }
+    if (rec.gate != obs::Gate::kMove) {
+      if (!rec.moves.empty()) {
+        fail(rec.t, where + " ordered " + std::to_string(rec.moves.size()) +
+                        " move(s); only a move gate may order movement");
+      }
+      if (rec.target != rec.remaining) {
+        fail(rec.t, where + " changed the assignment without moving");
+      }
+      continue;
+    }
+    // Moved round: the ordered transfers must account exactly for the
+    // per-rank difference between the new target and the reported state.
+    std::vector<long> delta(ranks, 0);
+    for (const obs::Move& m : rec.moves) {
+      if (m.from < 0 || m.to < 0 || m.from >= static_cast<int>(ranks) ||
+          m.to >= static_cast<int>(ranks) || m.from == m.to || m.count <= 0) {
+        fail(rec.t, where + " ordered a malformed move " + edge(m.from, m.to) +
+                        " x" + std::to_string(m.count));
+        continue;
+      }
+      delta[static_cast<std::size_t>(m.from)] -= m.count;
+      delta[static_cast<std::size_t>(m.to)] += m.count;
+    }
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (rec.target[r] - rec.remaining[r] != delta[r]) {
+        fail(rec.t, where + " rank " + std::to_string(r) + ": target " +
+                        std::to_string(rec.target[r]) + " - remaining " +
+                        std::to_string(rec.remaining[r]) +
+                        " != ordered flow " + std::to_string(delta[r]));
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------- CrashInjector

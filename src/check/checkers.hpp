@@ -17,6 +17,10 @@ namespace nowlb::sim {
 class World;
 }
 
+namespace nowlb::obs {
+class DecisionLedger;
+}
+
 namespace nowlb::check {
 
 /// Work conservation. Units leave a rank only by being packed onto the
@@ -170,6 +174,30 @@ class TransportChecker final : public Invariant {
  private:
   std::map<std::tuple<sim::Pid, sim::Pid, int>, std::uint32_t> next_seq_;
   std::uint64_t gave_ups_ = 0;
+};
+
+/// Decision-ledger arithmetic: cross-checks the flight recorder against
+/// the invariant bus. Exactly one ledger record per completed report
+/// collection; a moved round's ordered transfers redistribute exactly the
+/// reported remaining work (per rank, target - remaining == inflow -
+/// outflow); a cancelled or wind-down round orders zero moves and leaves
+/// the assignment untouched (target == remaining).
+class LedgerChecker final : public Invariant {
+ public:
+  /// `ledger` must outlive the checker; records already present at
+  /// construction (a hub shared across runs) are skipped.
+  explicit LedgerChecker(const obs::DecisionLedger* ledger);
+  const char* name() const override { return "ledger"; }
+
+  void on_master_reports(sim::Time t, int round,
+                         const std::vector<lb::StatusReport>& reports,
+                         const std::vector<bool>& mask) override;
+  void on_run_end(sim::Time t) override;
+
+ private:
+  const obs::DecisionLedger* ledger_;
+  std::size_t start_;               // records present before this run
+  std::uint64_t collections_ = 0;   // report collections observed
 };
 
 /// Crash-fault injector: kills one slave process the first time the master

@@ -12,10 +12,13 @@
 //   nowlb-fuzz --app=mm --seeds=25 --drop-rate=0.05 --kill-slave=1@3
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "check/scenario.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -59,6 +62,40 @@ void print_failures(const FuzzResult& res) {
   }
 }
 
+bool parse_level(const std::string& name, nowlb::LogLevel* out) {
+  if (name == "trace") *out = nowlb::LogLevel::Trace;
+  else if (name == "debug") *out = nowlb::LogLevel::Debug;
+  else if (name == "info") *out = nowlb::LogLevel::Info;
+  else if (name == "warn") *out = nowlb::LogLevel::Warn;
+  else if (name == "error") *out = nowlb::LogLevel::Error;
+  else if (name == "off") *out = nowlb::LogLevel::Off;
+  else return false;
+  return true;
+}
+
+/// `--log=debug` sets the global level; `--log=transport=debug,lb=info`
+/// raises individual components. Tokens combine: `debug,transport=trace`.
+bool apply_log_flag(const std::string& flag) {
+  std::size_t pos = 0;
+  while (pos <= flag.size()) {
+    const std::size_t comma = flag.find(',', pos);
+    const std::string token = flag.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? flag.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+    nowlb::LogLevel lvl;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (!parse_level(token, &lvl)) return false;
+      nowlb::Log::set_level(lvl);
+    } else {
+      if (!parse_level(token.substr(eq + 1), &lvl)) return false;
+      nowlb::Log::set_level(token.substr(0, eq), lvl);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,7 +105,8 @@ int main(int argc, char** argv) {
   static const char* kKnown[] = {
       "help", "seeds",        "base", "seed",    "app",
       "log",  "inject-fault", "verbose",
-      "drop-rate", "dup-rate", "reorder-us", "kill-slave"};
+      "drop-rate", "dup-rate", "reorder-us", "kill-slave",
+      "trace", "metrics", "explain"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
@@ -87,7 +125,14 @@ int main(int argc, char** argv) {
         "wrong-round]\n"
         "                  [--drop-rate=P] [--dup-rate=P] [--reorder-us=D]\n"
         "                  [--kill-slave=RANK@ROUND]  (MM only)\n"
-        "                  [--verbose]\n");
+        "                  [--trace=FILE] [--metrics=FILE] [--explain]\n"
+        "                  [--log=LEVEL|component=LEVEL,...] [--verbose]\n"
+        "\n"
+        "  --trace=FILE    write a Chrome trace_event JSON (Perfetto/\n"
+        "                  about://tracing) of every run in the sweep\n"
+        "  --metrics=FILE  dump the metrics registry as Prometheus text\n"
+        "  --explain       print the decision ledger: one line per\n"
+        "                  balancing round with rates, gate and moves\n");
     return 0;
   }
 
@@ -107,10 +152,12 @@ int main(int argc, char** argv) {
   }
 
   const std::string log_flag = cli.get("log", "");
-  if (log_flag == "debug") {
-    nowlb::Log::set_level(nowlb::LogLevel::Debug);
-  } else if (log_flag == "info") {
-    nowlb::Log::set_level(nowlb::LogLevel::Info);
+  if (!log_flag.empty() && !apply_log_flag(log_flag)) {
+    std::fprintf(stderr,
+                 "bad --log=%s (want LEVEL or component=LEVEL, comma-"
+                 "separated; levels: trace debug info warn error off)\n",
+                 log_flag.c_str());
+    return 2;
   }
 
   const std::string fault_flag = cli.get("inject-fault", "");
@@ -172,19 +219,42 @@ int main(int argc, char** argv) {
   }
   const bool verbose = cli.get_bool("verbose", nseeds == 1);
 
+  // Flight recorder, shared across the sweep. Attaching it never perturbs
+  // the simulation (identical trace hash), so --trace/--explain replay the
+  // exact run they explain. File status goes to stderr: stdout stays
+  // byte-identical with recording on or off.
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  const bool explain = cli.get_bool("explain", false);
+  const bool want_obs =
+      !trace_path.empty() || !metrics_path.empty() || explain;
+  nowlb::obs::Observability hub;
+  nowlb::obs::Observability* obs = want_obs ? &hub : nullptr;
+
   int runs = 0;
   std::vector<FailureRecord> failed;
   for (std::uint64_t seed = base; seed < base + nseeds; ++seed) {
     for (App app : apps) {
       Scenario sc = nowlb::check::generate_scenario(seed, app);
       if (plan.any()) nowlb::check::apply_fault_plan(sc, plan);
-      const FuzzResult res = nowlb::check::run_scenario(sc, fault);
+      const std::size_t ledger_mark = hub.ledger.records().size();
+      const FuzzResult res = nowlb::check::run_scenario(sc, fault, obs);
       ++runs;
       if (verbose) {
         std::printf("%s: %s (%.3fs virtual, trace %016llx)\n",
                     sc.describe().c_str(), res.ok ? "ok" : "FAIL",
                     res.elapsed_s,
                     static_cast<unsigned long long>(res.trace_hash));
+      }
+      if (explain) {
+        const auto& recs = hub.ledger.records();
+        std::printf("-- decision ledger: %s (%zu round(s)) --\n",
+                    sc.describe().c_str(), recs.size() - ledger_mark);
+        for (std::size_t i = ledger_mark; i < recs.size(); ++i) {
+          std::printf(
+              "%s\n",
+              nowlb::obs::DecisionLedger::explain_line(recs[i]).c_str());
+        }
       }
       if (res.ok) continue;
 
@@ -211,6 +281,25 @@ int main(int argc, char** argv) {
       std::printf("  repro: %s\n",
                   repro_command(sc, fault_flag, plan).c_str());
       failed.push_back({seed, app, same});
+    }
+  }
+
+  if (!trace_path.empty()) {
+    if (nowlb::obs::write_chrome_trace_file(trace_path, hub.trace)) {
+      std::fprintf(stderr, "trace: wrote %zu event(s) to %s\n",
+                   hub.trace.events().size(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (out) {
+      out << hub.metrics.prometheus_text();
+      std::fprintf(stderr, "metrics: wrote %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_path.c_str());
     }
   }
 

@@ -7,6 +7,7 @@
 #include "data/ownership.hpp"
 #include "lb/cluster.hpp"
 #include "load/generators.hpp"
+#include "obs/obs.hpp"
 #include "sim/world.hpp"
 #include "util/rng.hpp"
 
@@ -206,12 +207,19 @@ void attach_loads(lb::Cluster& cluster, const Scenario& sc) {
 
 }  // namespace
 
-FuzzResult run_scenario(const Scenario& sc, InvariantSet::Fault fault) {
+FuzzResult run_scenario(const Scenario& sc, InvariantSet::Fault fault,
+                        obs::Observability* obs) {
   sim::World world(sc.world);
+  // Attach before the cluster is built: the master/slave/transport
+  // emitters bind to the hub at construction.
+  world.set_obs(obs);
 
   InvariantSet set;
   set.bind_clock(&world.engine());
   set.inject_fault(fault);
+  if (obs != nullptr) {
+    set.add(std::make_unique<LedgerChecker>(&obs->ledger));
+  }
   const bool restricted = sc.app == App::kSor;
   const int lag =
       sc.app == App::kLu ? 0 : (sc.lb.pipelined ? 1 : 0);

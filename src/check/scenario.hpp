@@ -17,6 +17,10 @@
 #include "check/invariant.hpp"
 #include "sim/config.hpp"
 
+namespace nowlb::obs {
+struct Observability;
+}
+
 namespace nowlb::check {
 
 enum class App { kMm, kSor, kLu };
@@ -87,8 +91,12 @@ struct FuzzResult {
 
 /// Execute the scenario under all applicable checkers. `fault` corrupts
 /// the observation stream (never the simulated system) to exercise the
-/// failure path.
+/// failure path. With `obs` set, the flight recorder is attached to the
+/// run (traces, metrics, decision ledger) and a LedgerChecker cross-checks
+/// the ledger arithmetic against the invariant bus; recording never
+/// perturbs the simulation, so the trace hash is identical either way.
 FuzzResult run_scenario(const Scenario& sc,
-                        InvariantSet::Fault fault = InvariantSet::Fault::kNone);
+                        InvariantSet::Fault fault = InvariantSet::Fault::kNone,
+                        obs::Observability* obs = nullptr);
 
 }  // namespace nowlb::check

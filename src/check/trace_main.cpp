@@ -1,0 +1,168 @@
+// nowlb-trace: replay one fuzzer scenario with the flight recorder
+// attached and export everything it saw — a Chrome trace_event JSON for
+// Perfetto / about://tracing, a Prometheus metrics dump, and the decision
+// ledger with one explained line per balancing round.
+//
+//   nowlb-trace --app=mm --seed=7                      # writes trace.json
+//   nowlb-trace --app=sor --seed=3 --out=s.json --metrics=s.prom
+//   nowlb-trace --app=mm --seed=7 --explain            # decision ledger
+//   nowlb-trace --app=mm --seed=7 --drop-rate=0.05 --kill-slave=1@3
+//
+// The run is replayed twice, once bare and once recorded, and the engine
+// event-trace hashes are compared: recording must never perturb the
+// simulation.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "check/scenario.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using nowlb::check::App;
+using nowlb::check::FuzzResult;
+using nowlb::check::Scenario;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nowlb::Cli cli(argc, argv);
+  static const char* kKnown[] = {"help",      "app",        "seed",
+                                 "out",       "metrics",    "explain",
+                                 "drop-rate", "dup-rate",   "reorder-us",
+                                 "kill-slave"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::string name = arg.substr(2, arg.find('=') - 2);
+    bool known = false;
+    for (const char* k : kKnown) known = known || name == k;
+    if (!known) {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (cli.has("help")) {
+    std::printf(
+        "usage: nowlb-trace [--app=mm|sor|lu] [--seed=S] [--out=FILE]\n"
+        "                   [--metrics=FILE] [--explain]\n"
+        "                   [--drop-rate=P] [--dup-rate=P] [--reorder-us=D]\n"
+        "                   [--kill-slave=RANK@ROUND]  (MM only)\n"
+        "\n"
+        "Replays the seeded fuzzer scenario with the flight recorder\n"
+        "attached and writes a Chrome trace_event JSON (default\n"
+        "trace.json; load it in Perfetto or about://tracing). --metrics\n"
+        "dumps the metrics registry as Prometheus text; --explain prints\n"
+        "the decision ledger, one line per balancing round.\n");
+    return 0;
+  }
+
+  const std::string app_flag = cli.get("app", "mm");
+  App app;
+  if (app_flag == "mm") {
+    app = App::kMm;
+  } else if (app_flag == "sor") {
+    app = App::kSor;
+  } else if (app_flag == "lu") {
+    app = App::kLu;
+  } else {
+    std::fprintf(stderr, "unknown --app=%s\n", app_flag.c_str());
+    return 2;
+  }
+
+  nowlb::check::FaultPlan plan;
+  plan.drop_rate = cli.get_double("drop-rate", 0.0);
+  plan.dup_rate = cli.get_double("dup-rate", 0.0);
+  plan.reorder_delay =
+      static_cast<nowlb::sim::Time>(cli.get_int("reorder-us", 0)) *
+      nowlb::sim::kMicrosecond;
+  if (plan.drop_rate < 0 || plan.drop_rate >= 1 || plan.dup_rate < 0 ||
+      plan.dup_rate >= 1 || plan.reorder_delay < 0) {
+    std::fprintf(stderr, "fault rates must be in [0, 1), delays >= 0\n");
+    return 2;
+  }
+  const std::string kill_flag = cli.get("kill-slave", "");
+  if (!kill_flag.empty()) {
+    const std::size_t at = kill_flag.find('@');
+    try {
+      plan.kill_rank = std::stoi(kill_flag.substr(0, at));
+      if (at != std::string::npos) {
+        plan.kill_round = std::stoi(kill_flag.substr(at + 1));
+      }
+    } catch (...) {
+      plan.kill_rank = -1;
+    }
+    if (plan.kill_rank < 0 || plan.kill_round < 1 || app != App::kMm) {
+      std::fprintf(stderr,
+                   "--kill-slave expects RANK@ROUND and --app=mm\n");
+      return 2;
+    }
+  }
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  Scenario sc = nowlb::check::generate_scenario(seed, app);
+  if (plan.any()) nowlb::check::apply_fault_plan(sc, plan);
+  std::printf("scenario: %s\n", sc.describe().c_str());
+
+  // Bare run first: the recorded replay must dispatch the identical event
+  // sequence, or the recorder is perturbing the system it observes.
+  const FuzzResult bare = nowlb::check::run_scenario(sc);
+  nowlb::obs::Observability hub;
+  const FuzzResult res =
+      nowlb::check::run_scenario(sc, nowlb::check::InvariantSet::Fault::kNone,
+                                 &hub);
+  if (res.trace_hash != bare.trace_hash) {
+    std::printf(
+        "RECORDER PERTURBED THE RUN: trace %016llx with recording vs "
+        "%016llx without\n",
+        static_cast<unsigned long long>(res.trace_hash),
+        static_cast<unsigned long long>(bare.trace_hash));
+  }
+
+  std::printf("result: %s, %.3fs virtual, trace %016llx (recording "
+              "changed nothing: %s)\n",
+              res.ok ? "ok" : "FAIL", res.elapsed_s,
+              static_cast<unsigned long long>(res.trace_hash),
+              res.trace_hash == bare.trace_hash ? "yes" : "NO");
+  for (const auto& f : res.failures) {
+    std::printf("  [%s] t=%.6fs: %s\n", f.checker.c_str(),
+                nowlb::sim::to_seconds(f.at), f.message.c_str());
+  }
+  std::printf("recorded: %zu trace event(s) across %zu lane(s), %zu "
+              "ledger round(s), %llu dropped\n",
+              hub.trace.events().size(), hub.trace.lanes().size(),
+              hub.ledger.records().size(),
+              static_cast<unsigned long long>(hub.trace.dropped()));
+
+  const std::string out_path = cli.get("out", "trace.json");
+  if (!out_path.empty() && out_path != "none") {
+    if (nowlb::obs::write_chrome_trace_file(out_path, hub.trace)) {
+      std::printf("trace: wrote %s (load in Perfetto or about://tracing)\n",
+                  out_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!metrics_path.empty()) {
+    std::ofstream mout(metrics_path);
+    if (!mout) {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    mout << hub.metrics.prometheus_text();
+    std::printf("metrics: wrote %s\n", metrics_path.c_str());
+  }
+  if (cli.get_bool("explain", false)) {
+    std::printf("-- decision ledger --\n");
+    std::fputs(hub.ledger.explain().c_str(), stdout);
+  }
+  const bool perturbed = res.trace_hash != bare.trace_hash;
+  return res.ok && !perturbed ? 0 : 1;
+}

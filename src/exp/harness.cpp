@@ -25,11 +25,65 @@ lb::LbConfig paper_lb() {
 namespace {
 
 struct RunParts {
+  std::unique_ptr<obs::Observability> local_obs;
+  obs::Observability* obs = nullptr;   // effective hub (external or local)
+  std::size_t ledger_start = 0;        // first record belonging to this run
   sim::World world;
   lb::Cluster cluster;
+
   RunParts(const ExperimentConfig& cfg, lb::ClusterConfig cc)
-      : world(cfg.world), cluster(world, std::move(cc)) {}
+      : local_obs(cfg.obs == nullptr && cfg.want_trace
+                      ? std::make_unique<obs::Observability>()
+                      : nullptr),
+        obs(cfg.obs != nullptr ? cfg.obs : local_obs.get()),
+        ledger_start(obs != nullptr ? obs->ledger.records().size() : 0),
+        world(cfg.world),
+        // The hub must be attached before the cluster spawns the master
+        // and slaves: their emitters bind to it at construction.
+        cluster(attach(world, obs), std::move(cc)) {}
+
+  static sim::World& attach(sim::World& w, obs::Observability* o) {
+    w.set_obs(o);
+    return w;
+  }
 };
+
+/// Rebuild the classic fig9 series from the decision ledger. Only rounds
+/// where the planner actually ran (move/threshold/profit/hold gates)
+/// produce points — the same rounds the old recorder-based path traced.
+void synthesize_lb_series(const std::vector<obs::DecisionRecord>& rounds,
+                          Trace* trace) {
+  auto add_point = [trace](const std::string& name, double t, double v) {
+    for (std::size_t i = 0; i < trace->names.size(); ++i) {
+      if (trace->names[i] == name) {
+        trace->series[i].add(t, v);
+        return;
+      }
+    }
+    trace->names.push_back(name);
+    trace->series.emplace_back();
+    trace->series.back().add(t, v);
+  };
+  for (const auto& rec : rounds) {
+    switch (rec.gate) {
+      case obs::Gate::kMove:
+      case obs::Gate::kBelowThreshold:
+      case obs::Gate::kNotProfitable:
+      case obs::Gate::kHold:
+        break;
+      default:
+        continue;  // wind-down / frozen rounds: no planner output
+    }
+    const double t = sim::to_seconds(rec.t);
+    for (std::size_t r = 0; r < rec.raw_rates.size(); ++r) {
+      const std::string suffix = "." + std::to_string(r);
+      add_point("lb.raw_rate" + suffix, t, rec.raw_rates[r]);
+      add_point("lb.adj_rate" + suffix, t, rec.rates[r]);
+      add_point("lb.work" + suffix, t, static_cast<double>(rec.target[r]));
+    }
+    add_point("lb.period_s", t, rec.period_s);
+  }
+}
 
 Measurement finish(const ExperimentConfig& cfg, RunParts& parts,
                    double seq_s, Trace* trace) {
@@ -59,11 +113,18 @@ Measurement finish(const ExperimentConfig& cfg, RunParts& parts,
   NOWLB_CHECK(denominator > 0, "no available CPU time measured");
   m.efficiency = seq_s / denominator;
 
-  if (trace != nullptr && cfg.want_trace) {
+  if (trace != nullptr && cfg.want_trace && parts.obs != nullptr) {
+    // Application-level series recorded into the world Recorder come
+    // first, in first-recorded order.
     for (const auto& name : w.recorder().names()) {
       trace->names.push_back(name);
       trace->series.push_back(*w.recorder().find(name));
     }
+    const auto& recs = parts.obs->ledger.records();
+    trace->rounds.assign(
+        recs.begin() + static_cast<std::ptrdiff_t>(parts.ledger_start),
+        recs.end());
+    synthesize_lb_series(trace->rounds, trace);
   }
   return m;
 }
@@ -72,9 +133,7 @@ Measurement finish(const ExperimentConfig& cfg, RunParts& parts,
 
 Measurement run_mm(const apps::MmConfig& app, const ExperimentConfig& cfg,
                    Trace* trace) {
-  lb::LbConfig lbc = cfg.lb;
-  lbc.trace = cfg.want_trace;
-  auto cc = apps::mm_cluster_config(app, cfg.slaves, lbc);
+  auto cc = apps::mm_cluster_config(app, cfg.slaves, cfg.lb);
   RunParts parts(cfg, std::move(cc));
   auto shared = std::make_shared<apps::MmShared>();
   apps::mm_make_inputs(app, *shared);
@@ -84,9 +143,7 @@ Measurement run_mm(const apps::MmConfig& app, const ExperimentConfig& cfg,
 
 Measurement run_sor(const apps::SorConfig& app, const ExperimentConfig& cfg,
                     Trace* trace) {
-  lb::LbConfig lbc = cfg.lb;
-  lbc.trace = cfg.want_trace;
-  auto cc = apps::sor_cluster_config(app, cfg.slaves, lbc);
+  auto cc = apps::sor_cluster_config(app, cfg.slaves, cfg.lb);
   RunParts parts(cfg, std::move(cc));
   auto shared = std::make_shared<apps::SorShared>();
   apps::sor_make_inputs(app, *shared);
@@ -96,9 +153,7 @@ Measurement run_sor(const apps::SorConfig& app, const ExperimentConfig& cfg,
 
 Measurement run_lu(const apps::LuConfig& app, const ExperimentConfig& cfg,
                    Trace* trace) {
-  lb::LbConfig lbc = cfg.lb;
-  lbc.trace = cfg.want_trace;
-  auto cc = apps::lu_cluster_config(app, cfg.slaves, lbc);
+  auto cc = apps::lu_cluster_config(app, cfg.slaves, cfg.lb);
   RunParts parts(cfg, std::move(cc));
   auto shared = std::make_shared<apps::LuShared>();
   apps::lu_make_inputs(app, *shared);

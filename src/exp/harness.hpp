@@ -18,6 +18,7 @@
 #include "apps/mm.hpp"
 #include "apps/sor.hpp"
 #include "lb/cluster.hpp"
+#include "obs/obs.hpp"
 #include "sim/world.hpp"
 #include "util/stats.hpp"
 
@@ -44,14 +45,26 @@ struct ExperimentConfig {
   lb::LbConfig lb;
   sim::WorldConfig world;
   std::vector<LoadSpec> loads;
-  /// Copy the master's trace series (lb.*) out of the world recorder.
+  /// Extract the run's balancing timeline into the Trace output: decision
+  /// records and the lb.* series synthesized from them.
   bool want_trace = false;
+  /// Optional external flight recorder (not owned; must outlive the run) —
+  /// e.g. one hub shared by a whole bench sweep. When null and want_trace
+  /// is set, a run-local hub is created automatically.
+  obs::Observability* obs = nullptr;
 };
 
-/// Trace series extracted from a run (for Fig. 9-style plots).
+/// Trace extracted from a run (for Fig. 9-style plots and --explain).
+/// The lb.* series (lb.raw_rate.N / lb.adj_rate.N / lb.work.N /
+/// lb.period_s) are synthesized from the decision ledger — one point per
+/// decision round; application series recorded into the world Recorder are
+/// copied alongside, in first-recorded order.
 struct Trace {
   std::vector<std::string> names;
   std::vector<Series> series;
+  /// Decision-ledger records, one per balancing round (all gates,
+  /// including phase wind-down and recovery-frozen rounds).
+  std::vector<obs::DecisionRecord> rounds;
   const Series* find(const std::string& name) const;
 };
 

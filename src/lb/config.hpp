@@ -89,9 +89,6 @@ struct LbConfig {
   /// OS scheduling quantum of the slave hosts (compile/startup-time known).
   Time quantum = 100 * sim::kMillisecond;
 
-  /// Record per-slave rate/assignment series into the world recorder.
-  bool trace = false;
-
   /// Reliable transport wrapped around report/instruction/move traffic.
   TransportConfig transport;
 

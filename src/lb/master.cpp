@@ -7,7 +7,8 @@
 
 #include "check/invariant.hpp"
 #include "msg/channel.hpp"
-#include "sim/trace.hpp"
+#include "obs/obs.hpp"
+#include "sim/world.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -51,6 +52,27 @@ Master::Master(sim::Context& ctx, MasterConfig cfg)
   transport_ = std::make_unique<Transport>(
       ctx_, cfg_.lb.transport,
       std::vector<sim::Tag>{kTagReport, kTagInstr, kTagMove}, cfg_.lb.check);
+  obs_ = ctx_.world().obs();
+  if (obs_ != nullptr) {
+    auto& m = obs_->metrics;
+    m_rounds_ = &m.counter("lb_rounds", "Balancing rounds completed");
+    m_moves_ordered_ =
+        &m.counter("lb_moves_ordered", "Rounds where movement was ordered");
+    m_units_moved_ =
+        &m.counter("lb_units_moved", "Work units in ordered transfers");
+    m_cancel_thresh_ = &m.counter(
+        "lb_cancelled_threshold", "Rounds gated by the improvement threshold");
+    m_cancel_profit_ = &m.counter("lb_cancelled_profit",
+                                  "Rounds cancelled by profitability");
+    m_evictions_ = &m.counter("lb_evictions", "Ranks declared dead");
+    m_orphans_ = &m.counter("lb_orphans_reassigned",
+                            "Orphaned units handed to survivors");
+    m_period_ = &m.gauge("lb_period_seconds", "Current balancing period");
+    m_round_hist_ = &m.histogram(
+        "lb_round_seconds",
+        {0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0},
+        "Master-side round latency (reports collected to instructions sent)");
+  }
 }
 
 int Master::rank_of(sim::Pid pid) const {
@@ -109,6 +131,7 @@ Task<> Master::run_phase() {
     const int report_round = cfg_.lb.pipelined ? round_ : round_ + 1;
     if (!cfg_.lb.pipelined) ++round_;
     auto reports = co_await collect_reports(report_round, active_);
+    const Time round_t0 = ctx_.now();
     ++stats_.rounds;
     process_measurements(reports, collected_);
     if (ft()) reconcile_census(reports, report_round);
@@ -126,13 +149,22 @@ Task<> Master::run_phase() {
       if (cfg_.lb.pipelined) ++round_;
       Decision none;
       none.target = remaining;
+      publish_round(obs::Gate::kPhaseEnd, "no work remaining", remaining,
+                    &none);
       co_await send_instructions(round_, /*phase_done=*/true, none, rates_,
                                  active_);
+      note_round_span(round_t0);
       if (cfg_.lb.pipelined) {
         // Consume the final reports so rounds stay aligned across phases.
         auto finals = co_await collect_reports(round_, active_);
         process_measurements(finals, collected_);
         ++stats_.rounds;
+        std::vector<int> fin(nslaves_, 0);
+        for (int r = 0; r < nslaves_; ++r) {
+          if (collected_[r]) fin[r] = finals[r].remaining;
+        }
+        publish_round(obs::Gate::kFinalReports, "final reports consumed",
+                      fin, nullptr);
       }
       co_return;
     }
@@ -144,6 +176,7 @@ Task<> Master::run_phase() {
       // is built on.
       d.target = remaining;
       d.reason = "movement frozen during fault recovery";
+      publish_round(obs::Gate::kRecoveryFreeze, d.reason, remaining, &d);
       if (cfg_.lb.check != nullptr) {
         cfg_.lb.check->on_master_decision(ctx_.now(), d, remaining);
       }
@@ -153,6 +186,7 @@ Task<> Master::run_phase() {
     if (cfg_.lb.pipelined) ++round_;
     co_await send_instructions(round_, /*phase_done=*/false, d, rates_,
                                active_);
+    note_round_span(round_t0);
   }
 }
 
@@ -166,6 +200,7 @@ Task<> Master::run_done_flags() {
   while (n_active > 0) {
     ++round_;
     auto reports = co_await collect_reports(round_, active);
+    const Time round_t0 = ctx_.now();
     ++stats_.rounds;
     process_measurements(reports, active);
 
@@ -181,42 +216,93 @@ Task<> Master::run_done_flags() {
                     "rank " << r << " finished with work remaining");
       }
     }
-    if (n_active == 0) co_return;
+    if (n_active == 0) {
+      publish_round(obs::Gate::kPhaseEnd, "all slaves done", remaining,
+                    nullptr);
+      co_return;
+    }
 
     const Decision d = make_decision(remaining);
     co_await send_instructions(round_, /*phase_done=*/false, d, rates_,
                                active);
+    note_round_span(round_t0);
   }
 }
 
 Decision Master::make_decision(const std::vector<int>& remaining) {
   Decision d = decide(cfg_.lb, remaining, rates_, move_cost_per_unit_s_,
                       to_seconds(freq_.period()));
+  obs::Gate gate = obs::Gate::kHold;
   if (d.move) {
     ++stats_.moves_ordered;
     stats_.units_moved += units_moved(d.transfers);
+    if (m_moves_ordered_ != nullptr) {
+      m_moves_ordered_->inc();
+      m_units_moved_->inc(static_cast<std::uint64_t>(units_moved(d.transfers)));
+    }
+    gate = obs::Gate::kMove;
   } else if (std::string_view(d.reason) == "below improvement threshold") {
     ++stats_.cancelled_threshold;
+    if (m_cancel_thresh_ != nullptr) m_cancel_thresh_->inc();
+    gate = obs::Gate::kBelowThreshold;
   } else if (std::string_view(d.reason) == "movement not profitable") {
     ++stats_.cancelled_profit;
+    if (m_cancel_profit_ != nullptr) m_cancel_profit_->inc();
+    gate = obs::Gate::kNotProfitable;
   }
   stats_.last_period_s = to_seconds(freq_.period());
-
-  if (cfg_.lb.trace) {
-    auto& rec = ctx_.recorder();
-    const Time now = ctx_.now();
-    for (int r = 0; r < nslaves_; ++r) {
-      const std::string suffix = "." + std::to_string(r);
-      rec.record("lb.raw_rate" + suffix, now, raw_rates_[r]);
-      rec.record("lb.adj_rate" + suffix, now, rates_[r]);
-      rec.record("lb.work" + suffix, now, static_cast<double>(d.target[r]));
-    }
-    rec.record("lb.period_s", now, stats_.last_period_s);
-  }
+  publish_round(gate, d.reason, remaining, &d);
   if (cfg_.lb.check != nullptr) {
     cfg_.lb.check->on_master_decision(ctx_.now(), d, remaining);
   }
   return d;
+}
+
+void Master::publish_round(obs::Gate gate, const char* reason,
+                           const std::vector<int>& remaining,
+                           const Decision* d) {
+  if (obs_ == nullptr) return;
+  m_rounds_->inc();
+  m_period_->set(to_seconds(freq_.period()));
+
+  obs::DecisionRecord rec;
+  rec.round = static_cast<std::uint64_t>(stats_.rounds);
+  rec.t = ctx_.now();
+  rec.gate = gate;
+  rec.reason = reason;
+  rec.raw_rates = raw_rates_;
+  rec.rates = rates_;
+  rec.remaining.assign(remaining.begin(), remaining.end());
+  rec.period_s = to_seconds(freq_.period());
+  if (d != nullptr) {
+    rec.target.assign(d->target.begin(), d->target.end());
+    rec.moves.reserve(d->transfers.size());
+    for (const Transfer& t : d->transfers) {
+      rec.moves.push_back({t.from_rank, t.to_rank, t.count});
+    }
+    rec.improvement = d->improvement;
+    rec.projected_current_s = d->projected_current_s;
+    rec.projected_new_s = d->projected_new_s;
+    rec.est_move_cost_s = d->est_move_cost_s;
+  } else {
+    rec.target = rec.remaining;
+  }
+  int units = 0;
+  for (const obs::Move& m : rec.moves) units += static_cast<int>(m.count);
+  obs_->trace.instant(
+      ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb", "lb.decision",
+      {"round", static_cast<double>(rec.round)},
+      {"gate", static_cast<double>(static_cast<int>(gate))},
+      {"units", static_cast<double>(units)});
+  obs_->ledger.append(std::move(rec));
+}
+
+void Master::note_round_span(sim::Time t0) {
+  if (obs_ == nullptr) return;
+  m_round_hist_->observe(to_seconds(ctx_.now() - t0));
+  obs_->trace.complete(t0, ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                       "lb.round",
+                       {"round", static_cast<double>(stats_.rounds)});
 }
 
 Task<std::vector<StatusReport>> Master::collect_reports(
@@ -290,6 +376,16 @@ Task<std::vector<StatusReport>> Master::collect_reports(
     ++have;
   }
   collected_ = seen;
+  if (obs_ != nullptr) {
+    for (int r = 0; r < nslaves_; ++r) {
+      if (!seen[r]) continue;
+      obs_->trace.instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                          "lb.report", {"rank", static_cast<double>(r)},
+                          {"round", static_cast<double>(round)},
+                          {"remaining",
+                           static_cast<double>(reports[r].remaining)});
+    }
+  }
   if (cfg_.lb.check != nullptr) {
     cfg_.lb.check->on_master_reports(ctx_.now(), round, reports, seen);
   }
@@ -312,6 +408,11 @@ void Master::process_measurements(const std::vector<StatusReport>& reports,
       rates_[r] = cfg_.lb.filtering ? filters_[r].update(raw_rates_[r])
                                     : raw_rates_[r];
       measured_[r] = true;
+      if (obs_ != nullptr) {
+        obs_->trace.instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                            "lb.filter", {"rank", static_cast<double>(r)},
+                            {"raw", raw_rates_[r]}, {"filtered", rates_[r]});
+      }
     }
     if (rep.lb_blocked_s > 0) {
       min_blocked =
@@ -421,6 +522,11 @@ void Master::evict(int rank) {
   recovery_pending_ = true;
   ft_sync_pending_ = true;
   ++stats_.evictions;
+  if (obs_ != nullptr) {
+    m_evictions_->inc();
+    obs_->trace.instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                        "lb.evict", {"rank", static_cast<double>(rank)});
+  }
   transport_->blackhole(cfg_.slaves[rank]);
   // Forget any early report the dead rank stashed before crashing.
   std::erase_if(stashed_, [&](const auto& e) {
@@ -504,6 +610,12 @@ void Master::reconcile_census(const std::vector<StatusReport>& reports,
     NOWLB_LOG(Info, "lb") << "rank " << r << " adopts " << assigned[i].size()
                           << " orphaned units";
     stats_.orphans_reassigned += static_cast<int>(assigned[i].size());
+    if (obs_ != nullptr) {
+      m_orphans_->inc(assigned[i].size());
+      obs_->trace.instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                          "lb.adopt", {"rank", static_cast<double>(r)},
+                          {"units", static_cast<double>(assigned[i].size())});
+    }
     if (cfg_.lb.check != nullptr) {
       cfg_.lb.check->on_orphans_assigned(ctx_.now(), r, assigned[i]);
     }

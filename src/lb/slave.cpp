@@ -4,6 +4,7 @@
 
 #include "check/invariant.hpp"
 #include "msg/channel.hpp"
+#include "obs/obs.hpp"
 #include "sim/world.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -33,6 +34,7 @@ SlaveAgent::SlaveAgent(sim::Context& ctx, sim::Pid master, int rank,
   transport_ = std::make_unique<Transport>(
       ctx_, lb_.transport,
       std::vector<sim::Tag>{kTagReport, kTagInstr, kTagMove}, lb_.check);
+  if (obs::Observability* o = ctx_.world().obs()) trace_ = &o->trace;
 }
 
 void SlaveAgent::begin_phase() {
@@ -75,6 +77,12 @@ Task<> SlaveAgent::send_report() {
                          << rep.elapsed_s << " blocked="
                          << to_seconds(window_blocked) << " remaining="
                          << rep.remaining;
+  if (trace_ != nullptr) {
+    trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                    "slave.report", {"rank", static_cast<double>(rank_)},
+                    {"round", static_cast<double>(round_)},
+                    {"remaining", static_cast<double>(rep.remaining)});
+  }
   if (lb_.check != nullptr) {
     lb_.check->on_slave_report(ctx_.now(), rank_, rep);
   }
@@ -103,6 +111,12 @@ Task<> SlaveAgent::handle_instr(const Instructions& ins) {
 }
 
 Task<> SlaveAgent::apply_instr_body(const Instructions& ins) {
+  if (trace_ != nullptr) {
+    trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                    "slave.instr", {"rank", static_cast<double>(rank_)},
+                    {"round", static_cast<double>(ins.round)},
+                    {"phase_done", ins.phase_done ? 1.0 : 0.0});
+  }
   if (lb_.check != nullptr) {
     lb_.check->on_slave_instructions(ctx_.now(), rank_, ins);
   }
@@ -148,6 +162,11 @@ Task<> SlaveAgent::handle_ft(const Instructions& ins) {
   }
   if (!ins.adopt.empty()) {
     const sim::Time t0 = ctx_.now();
+    if (trace_ != nullptr) {
+      trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                      "slave.adopt",
+                      {"units", static_cast<double>(ins.adopt.size())});
+    }
     co_await ops_.adopt(ins.adopt);
     if (lb_.check != nullptr) {
       std::vector<int> ids(ins.adopt.begin(), ins.adopt.end());
@@ -265,6 +284,12 @@ Task<> SlaveAgent::integrate_move(const MoveOrder& order, sim::Message m) {
   moved_units_accum_ += actual;
   units_received_ += actual;
   move_time_accum_ += ctx_.now() - t0;
+  if (trace_ != nullptr) {
+    trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                    "slave.move_recv",
+                    {"from", static_cast<double>(order.peer_rank)},
+                    {"units", static_cast<double>(actual)});
+  }
   NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " received " << actual
                          << " units from rank " << order.peer_rank;
 }
@@ -449,6 +474,12 @@ Task<> SlaveAgent::apply_moves(const std::vector<MoveOrder>& orders) {
       }
       moved_units_accum_ += actual;
       units_sent_ += actual;
+      if (trace_ != nullptr) {
+        trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
+                        "slave.move_send",
+                        {"to", static_cast<double>(o.peer_rank)},
+                        {"units", static_cast<double>(actual)});
+      }
       NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " sends " << actual
                              << " units to rank " << o.peer_rank;
       co_await transport_->send(pid_of(o.peer_rank), kTagMove,

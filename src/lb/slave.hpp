@@ -28,6 +28,10 @@
 #include "sim/context.hpp"
 #include "sim/task.hpp"
 
+namespace nowlb::obs {
+class TraceBus;
+}  // namespace nowlb::obs
+
 namespace nowlb::lb {
 
 class SlaveAgent {
@@ -148,6 +152,7 @@ class SlaveAgent {
   LbConfig lb_;
   WorkOps ops_;
   std::unique_ptr<Transport> transport_;
+  obs::TraceBus* trace_ = nullptr;  // flight recorder, null when detached
 
   int round_ = 0;              // round of the last report sent
   bool awaiting_instr_ = false;

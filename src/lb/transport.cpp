@@ -7,6 +7,7 @@
 #include "check/invariant.hpp"
 #include "lb/protocol.hpp"
 #include "msg/serialize.hpp"
+#include "obs/obs.hpp"
 #include "sim/world.hpp"
 #include "util/log.hpp"
 
@@ -21,6 +22,22 @@ Transport::Transport(sim::Context& ctx, TransportConfig cfg,
       check_(check),
       alive_(std::make_shared<bool>(true)) {
   if (!cfg_.enabled) return;
+  if (obs::Observability* o = ctx_.world().obs()) {
+    trace_ = &o->trace;
+    auto& m = o->metrics;
+    m_sent_ = &m.counter("transport_sent", "Reliable messages sent");
+    m_retransmits_ =
+        &m.counter("transport_retransmits", "Timeout retransmissions");
+    m_acks_ = &m.counter("transport_acks_sent", "Acknowledgements sent");
+    m_dups_ = &m.counter("transport_dups_suppressed",
+                         "Duplicate deliveries suppressed");
+    m_held_ = &m.counter("transport_held_reordered",
+                         "Out-of-order arrivals held for the gap to close");
+    m_gave_up_ =
+        &m.counter("transport_gave_up", "Messages abandoned after max retries");
+    m_swallowed_ = &m.counter("transport_swallowed_from_dead",
+                              "Arrivals swallowed from blackholed peers");
+  }
   ctx_.process().mailbox().set_tap(
       [this](sim::Message& m) { return on_message(m); });
   // A crashed host stops transmitting: cancel every retransmit timer the
@@ -65,6 +82,7 @@ sim::Task<> Transport::send(sim::Pid dst, sim::Tag tag, sim::Bytes payload) {
   Pending& p = pending_[k][seq];
   p.msg = m;
   ++stats_.sent;
+  if (m_sent_ != nullptr) m_sent_->inc();
   post_raw(std::move(m));
   arm_timer(k, seq);
 }
@@ -85,6 +103,13 @@ void Transport::send_ack(sim::Pid dst, sim::Tag tag, std::uint32_t seq) {
   ack.tag = kTagAck;
   ack.payload = w.take();
   ++stats_.acks_sent;
+  if (m_acks_ != nullptr) m_acks_->inc();
+  if (trace_ != nullptr) {
+    trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "tx", "tx.ack",
+                    {"tag", static_cast<double>(tag)},
+                    {"seq", static_cast<double>(seq)},
+                    {"dst", static_cast<double>(dst)});
+  }
   // Acks are NIC-level: no software overhead, fired straight from the
   // delivery event. They ride the same lossy network as everything else;
   // a lost ack is covered by the peer's retransmit.
@@ -115,6 +140,13 @@ void Transport::on_timeout(Key k, std::uint32_t seq) {
   Pending& p = jt->second;
   if (p.attempts >= cfg_.max_retries) {
     ++stats_.gave_up;
+    if (m_gave_up_ != nullptr) m_gave_up_->inc();
+    if (trace_ != nullptr) {
+      trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "tx",
+                      "tx.gave_up", {"tag", static_cast<double>(k.tag)},
+                      {"seq", static_cast<double>(seq)},
+                      {"peer", static_cast<double>(k.peer)});
+    }
     NOWLB_LOG(Debug, "lb.transport")
         << "pid " << ctx_.pid() << " gave up on tag " << k.tag << " seq "
         << seq << " -> pid " << k.peer;
@@ -126,6 +158,13 @@ void Transport::on_timeout(Key k, std::uint32_t seq) {
   }
   ++p.attempts;
   ++stats_.retransmits;
+  if (m_retransmits_ != nullptr) m_retransmits_->inc();
+  if (trace_ != nullptr) {
+    trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "tx",
+                    "tx.retransmit", {"tag", static_cast<double>(k.tag)},
+                    {"seq", static_cast<double>(seq)},
+                    {"attempt", static_cast<double>(p.attempts)});
+  }
   post_raw(p.msg);
   arm_timer(k, seq);
 }
@@ -149,6 +188,7 @@ bool Transport::on_message(sim::Message& m) {
   if (!reliable(m.tag)) return false;
   if (blackholed(m.src)) {
     ++stats_.swallowed_from_dead;
+    if (m_swallowed_ != nullptr) m_swallowed_->inc();
     return true;
   }
   msg::Reader r(m.payload);
@@ -161,6 +201,7 @@ bool Transport::on_message(sim::Message& m) {
   std::uint32_t& expect = next_recv_seq_[k];
   if (seq < expect) {
     ++stats_.dups_suppressed;
+    if (m_dups_ != nullptr) m_dups_->inc();
     return true;
   }
   sim::Message stripped;
@@ -172,8 +213,10 @@ bool Transport::on_message(sim::Message& m) {
     // Gap: hold until the missing predecessors arrive (retransmission).
     if (held_[k].emplace(seq, std::move(stripped)).second) {
       ++stats_.held_reordered;
+      if (m_held_ != nullptr) m_held_->inc();
     } else {
       ++stats_.dups_suppressed;
+      if (m_dups_ != nullptr) m_dups_->inc();
     }
     return true;
   }
@@ -218,7 +261,13 @@ sim::Task<> Transport::drain() {
   // Acks are consumed by the tap, not this coroutine, so polling suffices;
   // the retransmit timers keep firing while we sleep. Bounded: every
   // pending entry is erased on ack, blackhole, or retry exhaustion.
+  const sim::Time t0 = ctx_.now();
+  const bool waited = has_pending();
   while (has_pending()) co_await ctx_.sleep(cfg_.rto / 2);
+  if (waited && trace_ != nullptr) {
+    trace_->complete(t0, ctx_.now(), ctx_.host_id(), ctx_.pid(), "tx",
+                     "tx.drain");
+  }
 }
 
 void Transport::cancel_all_timers() {
@@ -231,6 +280,10 @@ void Transport::cancel_all_timers() {
 
 void Transport::blackhole(sim::Pid pid) {
   if (!dead_.insert(pid).second) return;
+  if (trace_ != nullptr) {
+    trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "tx",
+                    "tx.blackhole", {"peer", static_cast<double>(pid)});
+  }
   sim::Engine& eng = ctx_.world().engine();
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->first.peer == pid) {

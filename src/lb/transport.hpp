@@ -32,6 +32,11 @@ namespace nowlb::check {
 class InvariantSet;
 }
 
+namespace nowlb::obs {
+class TraceBus;
+class Counter;
+}  // namespace nowlb::obs
+
 namespace nowlb::lb {
 
 struct TransportStats {
@@ -102,6 +107,17 @@ class Transport {
   TransportConfig cfg_;
   std::vector<sim::Tag> tags_;
   check::InvariantSet* check_;
+
+  // ---- flight recorder (cached from the world's hub; null when off or
+  // when the transport is disabled) ----
+  obs::TraceBus* trace_ = nullptr;
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_acks_ = nullptr;
+  obs::Counter* m_dups_ = nullptr;
+  obs::Counter* m_held_ = nullptr;
+  obs::Counter* m_gave_up_ = nullptr;
+  obs::Counter* m_swallowed_ = nullptr;
   /// Expires in the destructor so the process kill hook, which cannot be
   /// deregistered, becomes a no-op once the transport is gone.
   std::shared_ptr<bool> alive_;

@@ -1,0 +1,23 @@
+// Chrome trace_event JSON exporter for the trace bus.
+//
+// Emits the {"traceEvents":[...]} object form understood by Perfetto and
+// chrome://tracing: "i" instants, "X" complete spans with dur, and "M"
+// metadata records naming processes (hosts) and threads (lanes).
+// Timestamps are simulated microseconds; events are stable-sorted by ts so
+// a bus shared across several runs still exports a monotonic file.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace nowlb::obs {
+
+/// Write the whole bus as Chrome trace_event JSON.
+void write_chrome_trace(std::ostream& out, const TraceBus& bus);
+
+/// Convenience: write to a file path. Returns false on I/O failure.
+bool write_chrome_trace_file(const std::string& path, const TraceBus& bus);
+
+}  // namespace nowlb::obs

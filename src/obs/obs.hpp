@@ -1,0 +1,29 @@
+// The observability hub: one object bundling the three flight-recorder
+// parts — trace bus, metrics registry, decision ledger.
+//
+// Attach a hub to a World (World::set_obs) and every instrumented layer
+// below it (engine dispatch, network, transport, master/slave protocol)
+// records into it. Attachment is always optional: a null hub costs one
+// pointer test per emit site, and an attached hub never perturbs the
+// simulation clock or RNG streams, so traces stay bit-identical.
+#pragma once
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nowlb::obs {
+
+struct Observability {
+  TraceBus trace;
+  MetricsRegistry metrics;
+  DecisionLedger ledger;
+
+  void clear() {
+    trace.clear();
+    metrics.clear();
+    ledger.clear();
+  }
+};
+
+}  // namespace nowlb::obs

@@ -20,6 +20,12 @@
 #include "sim/message.hpp"
 #include "util/rng.hpp"
 
+namespace nowlb::obs {
+class TraceBus;
+class MetricsRegistry;
+class Counter;
+}  // namespace nowlb::obs
+
 namespace nowlb::sim {
 
 class Process;
@@ -28,6 +34,11 @@ class Network {
  public:
   Network(Engine& eng, NetConfig cfg)
       : eng_(eng), cfg_(cfg), fault_rng_(cfg.fault_seed) {}
+
+  /// Attach a flight recorder (both may be null; must outlive the run).
+  /// Emits msg.send/deliver/drop/dup instants and sim_* counters. Pure
+  /// observation: no clock or RNG effect, traces stay bit-identical.
+  void set_obs(obs::TraceBus* trace, obs::MetricsRegistry* metrics);
 
   /// Enqueue `m` for delivery from src_host to dst (on dst_host) starting
   /// at the current virtual time.
@@ -46,6 +57,11 @@ class Network {
   Engine& eng_;
   NetConfig cfg_;
   Rng fault_rng_;
+  obs::TraceBus* trace_ = nullptr;
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_duplicated_ = nullptr;
   std::unordered_map<int, Time> link_busy_until_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;

@@ -1,9 +1,13 @@
 // Named time-series recorder for experiment traces (e.g. Fig. 9's raw
 // rate / filtered rate / work assignment curves).
+//
+// names() returns series in FIRST-RECORDED order — the order the
+// experiment emitted them — not alphabetically. Plot scripts rely on this
+// to keep column order stable across runs.
 #pragma once
 
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -15,15 +19,18 @@ class Recorder {
  public:
   /// Append (t, v) to the series named `name` (created on first use).
   void record(const std::string& name, Time t, double v) {
-    series_[name].add(to_seconds(t), v);
+    find_or_create(name).add(to_seconds(t), v);
   }
 
   /// Returns nullptr if the series does not exist.
   const Series* find(const std::string& name) const {
-    const auto it = series_.find(name);
-    return it == series_.end() ? nullptr : &it->second;
+    for (const auto& [k, s] : series_) {
+      if (k == name) return &s;
+    }
+    return nullptr;
   }
 
+  /// Series names in insertion (first-recorded) order.
   std::vector<std::string> names() const {
     std::vector<std::string> out;
     out.reserve(series_.size());
@@ -34,7 +41,17 @@ class Recorder {
   void clear() { series_.clear(); }
 
  private:
-  std::map<std::string, Series> series_;
+  Series& find_or_create(const std::string& name) {
+    for (auto& [k, s] : series_) {
+      if (k == name) return s;
+    }
+    series_.emplace_back(name, Series{});
+    return series_.back().second;
+  }
+
+  // Insertion-ordered; experiments record a handful of series, so the
+  // linear name lookup is cheaper than a side index would be.
+  std::vector<std::pair<std::string, Series>> series_;
 };
 
 }  // namespace nowlb::sim

@@ -2,10 +2,17 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace nowlb::sim {
+
+namespace {
+double world_now_seconds(void* w) {
+  return to_seconds(static_cast<World*>(w)->now());
+}
+}  // namespace
 
 // ---------------------------------------------------------------- Process
 
@@ -83,14 +90,39 @@ Task<std::optional<Message>> Context::recv_until(Tag tag, Pid src,
 // ------------------------------------------------------------------ World
 
 World::World(WorldConfig cfg)
-    : cfg_(cfg), network_(engine_, cfg.net), rng_(cfg.seed) {}
+    : cfg_(cfg), network_(engine_, cfg.net), rng_(cfg.seed) {
+  // First world in wins the log clock; nested worlds leave it alone.
+  if (!Log::has_time_source()) {
+    Log::set_time_source(&world_now_seconds, this);
+    owns_log_clock_ = true;
+  }
+}
 
-World::~World() = default;
+World::~World() {
+  if (owns_log_clock_) Log::clear_time_source(this);
+}
+
+void World::set_obs(obs::Observability* o) {
+  obs_ = o;
+  network_.set_obs(o ? &o->trace : nullptr, o ? &o->metrics : nullptr);
+  if (obs_) {
+    for (const auto& h : hosts_) {
+      obs_->trace.name_host(h->id(), "host" + std::to_string(h->id()));
+    }
+    for (const auto& p : processes_) {
+      obs_->trace.name_lane(p->host().id(), p->pid(), p->name());
+    }
+  }
+}
 
 Host& World::add_host() {
   hosts_.push_back(
       std::make_unique<Host>(engine_, static_cast<int>(hosts_.size()),
                              cfg_.host));
+  if (obs_) {
+    obs_->trace.name_host(hosts_.back()->id(),
+                          "host" + std::to_string(hosts_.back()->id()));
+  }
   return *hosts_.back();
 }
 
@@ -109,6 +141,11 @@ Pid World::spawn(Host& host, std::string name, ProcessBody body,
   processes_.push_back(std::move(proc));
   engine_.schedule_at(engine_.now(), [raw] { raw->start(); });
   for (WorldObserver* o : observers_) o->on_spawn(engine_.now(), *raw);
+  if (obs_) {
+    obs_->trace.name_lane(host.id(), pid, raw->name());
+    obs_->trace.instant(engine_.now(), host.id(), pid, "proc", "proc.spawn",
+                        {"essential", essential ? 1.0 : 0.0});
+  }
   return pid;
 }
 
@@ -119,6 +156,10 @@ Time World::cpu_used(Pid pid) const {
 
 void World::on_process_done(Process& p) {
   for (WorldObserver* o : observers_) o->on_process_done(engine_.now(), p);
+  if (obs_) {
+    obs_->trace.instant(engine_.now(), p.host().id(), p.pid(), "proc",
+                        "proc.done", {"error", p.error() ? 1.0 : 0.0});
+  }
   if (p.error()) {
     NOWLB_LOG(Error, "sim") << "process " << p.name() << " failed";
     engine_.fail(p.error());
@@ -136,6 +177,10 @@ void World::kill(Pid pid) {
   Process& p = *processes_.at(pid);
   if (p.killed_ || p.finished_) return;
   p.killed_ = true;
+  if (obs_) {
+    obs_->trace.instant(engine_.now(), p.host_.id(), pid, "proc",
+                        "proc.kill");
+  }
   NOWLB_LOG(Info, "sim") << "process " << p.name() << " killed at t="
                          << to_seconds(engine_.now()) << "s";
   // Hooks run first so runtime layers (transports) stop transmitting
@@ -152,7 +197,17 @@ void World::kill(Pid pid) {
   }
 }
 
-void World::run() { engine_.run(); }
+void World::run() {
+  engine_.run();
+  if (obs_) {
+    obs_->metrics
+        .gauge("sim_virtual_time_seconds", "Virtual clock at end of run")
+        .set(to_seconds(engine_.now()));
+    obs_->metrics
+        .gauge("sim_events_dispatched", "Engine events dispatched")
+        .set(static_cast<double>(engine_.dispatched_events()));
+  }
+}
 
 void World::run_until(Time t) { engine_.run_until(t); }
 

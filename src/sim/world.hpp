@@ -28,6 +28,10 @@
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
+namespace nowlb::obs {
+struct Observability;
+}  // namespace nowlb::obs
+
 namespace nowlb::sim {
 
 /// Factory for a process body; invoked once when the process starts.
@@ -45,6 +49,13 @@ class World {
   Network& network() { return network_; }
   Recorder& recorder() { return recorder_; }
   Time now() const { return engine_.now(); }
+
+  /// Attach a flight recorder (not owned; must outlive the world). The
+  /// world forwards it to the network and stamps process lifecycle events;
+  /// protocol layers read it via obs(). Attaching is pure observation —
+  /// the event schedule and trace_hash() are bit-identical either way.
+  void set_obs(obs::Observability* o);
+  obs::Observability* obs() const { return obs_; }
 
   /// Create a new host (workstation). Hosts are identified by index.
   Host& add_host();
@@ -97,6 +108,8 @@ class World {
   Engine engine_;
   Network network_;
   Recorder recorder_;
+  obs::Observability* obs_ = nullptr;
+  bool owns_log_clock_ = false;
   Rng rng_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Process>> processes_;

@@ -1,10 +1,50 @@
 #include "util/log.hpp"
 
+#include <cstdio>
+#include <cstring>
+#include <map>
+
 namespace nowlb {
 
 LogLevel Log::level_ = LogLevel::Warn;
 std::ostream* Log::sink_ = &std::cerr;
 std::mutex Log::mu_;
+double (*Log::clock_fn_)(void*) = nullptr;
+void* Log::clock_owner_ = nullptr;
+
+namespace {
+// Function-local static: safe against static-init-order issues from
+// emitters in other translation units.
+std::map<std::string, LogLevel>& component_levels() {
+  static std::map<std::string, LogLevel> levels;
+  return levels;
+}
+}  // namespace
+
+void Log::set_level(const std::string& component, LogLevel l) {
+  component_levels()[component] = l;
+}
+
+void Log::clear_component_levels() { component_levels().clear(); }
+
+bool Log::enabled(LogLevel l, const char* component) {
+  if (l >= level_) return true;  // global level admits it; skip the map
+  const auto& levels = component_levels();
+  if (levels.empty()) return false;
+  const auto it = levels.find(component);
+  return it != levels.end() && l >= it->second;
+}
+
+void Log::set_time_source(double (*now_seconds)(void*), void* owner) {
+  clock_fn_ = now_seconds;
+  clock_owner_ = owner;
+}
+
+void Log::clear_time_source(void* owner) {
+  if (clock_owner_ != owner) return;
+  clock_fn_ = nullptr;
+  clock_owner_ = nullptr;
+}
 
 const char* Log::level_name(LogLevel l) {
   switch (l) {
@@ -21,6 +61,11 @@ const char* Log::level_name(LogLevel l) {
 void Log::write(LogLevel l, const std::string& component,
                 const std::string& message) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (clock_fn_) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%.6fs] ", clock_fn_(clock_owner_));
+    (*sink_) << buf;
+  }
   (*sink_) << '[' << level_name(l) << "] [" << component << "] " << message
            << '\n';
 }

@@ -1,0 +1,143 @@
+// Metrics registry: counter/gauge/histogram semantics, Prometheus text
+// exposition (escaping, cumulative buckets), JSON snapshots, and snapshot
+// determinism across two identical seeded simulation runs.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/harness.hpp"
+#include "obs/obs.hpp"
+
+namespace nowlb {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Histogram, BucketsAreUpperBoundInclusive) {
+  obs::Histogram h({1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (le is inclusive, Prometheus convention)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0); // +Inf
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsTheSameMetric) {
+  obs::MetricsRegistry m;
+  obs::Counter& a = m.counter("x", "first help wins");
+  obs::Counter& b = m.counter("x", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(m.find_counter("x")->value(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry m;
+  m.counter("x");
+  EXPECT_THROW(m.gauge("x"), std::logic_error);
+  EXPECT_THROW(m.histogram("x", {1.0}), std::logic_error);
+}
+
+TEST(MetricsRegistry, FindReturnsNullOnAbsentOrWrongKind) {
+  obs::MetricsRegistry m;
+  m.counter("c");
+  EXPECT_EQ(m.find_counter("missing"), nullptr);
+  EXPECT_EQ(m.find_gauge("c"), nullptr);
+  EXPECT_NE(m.find_counter("c"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusTextIsNameOrderedAndTyped) {
+  obs::MetricsRegistry m;
+  m.counter("zeta", "last").inc(7);
+  m.gauge("alpha", "first").set(1.5);
+  const std::string text = m.prometheus_text();
+  EXPECT_NE(text.find("# HELP alpha first\n# TYPE alpha gauge\nalpha 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zeta counter\nzeta 7\n"), std::string::npos);
+  EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+TEST(MetricsRegistry, PrometheusHelpEscaping) {
+  obs::MetricsRegistry m;
+  m.counter("c", "line one\nback\\slash");
+  const std::string text = m.prometheus_text();
+  EXPECT_NE(text.find("# HELP c line one\\nback\\\\slash\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusHistogramIsCumulativeWithInf) {
+  obs::MetricsRegistry m;
+  obs::Histogram& h = m.histogram("lat", {0.25, 1.0}, "latency");
+  h.observe(0.25);
+  h.observe(0.5);
+  h.observe(2.0);
+  const std::string text = m.prometheus_text();
+  EXPECT_NE(text.find("lat_bucket{le=\"0.25\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 2.75\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotShape) {
+  obs::MetricsRegistry m;
+  m.counter("c").inc(2);
+  m.gauge("g").set(0.5);
+  m.histogram("h", {1.0}).observe(3.0);
+  const std::string json = m.json_snapshot();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"c\":2},\"gauges\":{\"g\":0.5},"
+            "\"histograms\":{\"h\":{\"buckets\":[[1,0]],\"inf\":1,"
+            "\"sum\":3,\"count\":1}}}");
+}
+
+// Two identical seeded runs must register and count the exact same
+// metrics: both export formats are deterministic byte-for-byte.
+TEST(MetricsRegistry, SnapshotsAreDeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    obs::Observability hub;
+    apps::MmConfig mm;
+    mm.n = 48;
+    exp::ExperimentConfig cfg;
+    cfg.slaves = 3;
+    cfg.world = exp::paper_world();
+    cfg.lb = exp::paper_lb();
+    cfg.world.seed = 1234;
+    cfg.obs = &hub;
+    exp::run_mm(mm, cfg);
+    return std::pair<std::string, std::string>(hub.metrics.json_snapshot(),
+                                               hub.metrics.prometheus_text());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_FALSE(a.first.empty());
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  // The run actually counted something.
+  EXPECT_NE(a.second.find("lb_rounds"), std::string::npos);
+  EXPECT_NE(a.second.find("sim_messages_sent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nowlb

@@ -1,0 +1,130 @@
+// Trace bus and Chrome trace_event exporter: event capture, capacity cap,
+// JSON structure (metadata, instants, complete spans, escaping), monotonic
+// timestamps, pid/tid -> host/lane mapping, and the zero-perturbation
+// guarantee (attaching the recorder never changes the dispatched event
+// sequence of a simulation).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/scenario.hpp"
+#include "exp/harness.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "sim/time.hpp"
+
+namespace nowlb {
+namespace {
+
+TEST(TraceBus, CapturesInstantsAndSpans) {
+  obs::TraceBus bus;
+  bus.instant(5 * sim::kMicrosecond, 1, 2, "msg", "msg.send",
+              {"bytes", 64.0});
+  bus.complete(sim::kMicrosecond, 3 * sim::kMicrosecond, 0, 1, "tx",
+               "tx.drain");
+  ASSERT_EQ(bus.events().size(), 2u);
+  EXPECT_EQ(bus.events()[0].phase, obs::TraceEvent::Phase::kInstant);
+  EXPECT_STREQ(bus.events()[0].a0.key, "bytes");
+  EXPECT_EQ(bus.events()[1].phase, obs::TraceEvent::Phase::kComplete);
+  EXPECT_EQ(bus.events()[1].dur, 2 * sim::kMicrosecond);
+  EXPECT_EQ(bus.dropped(), 0u);
+}
+
+TEST(TraceBus, CapacityCapCountsDrops) {
+  obs::TraceBus bus;
+  bus.set_capacity(2);
+  for (int i = 0; i < 5; ++i) bus.instant(i, 0, 0, "c", "n");
+  EXPECT_EQ(bus.events().size(), 2u);
+  EXPECT_EQ(bus.dropped(), 3u);
+  bus.clear();
+  EXPECT_TRUE(bus.events().empty());
+  EXPECT_EQ(bus.dropped(), 0u);
+}
+
+TEST(ChromeTrace, EmitsMetadataEventsAndArgs) {
+  obs::TraceBus bus;
+  bus.name_host(3, "host3");
+  bus.name_lane(3, 7, "slave\"2\"");  // exercises string escaping
+  bus.instant(1500, 3, 7, "lb", "lb.report", {"rank", 2.0});
+  bus.complete(0, 2 * sim::kMicrosecond, 3, 7, "lb", "lb.round");
+  std::ostringstream os;
+  obs::write_chrome_trace(os, bus);
+  const std::string json = os.str();
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,"
+                      "\"tid\":0,\"args\":{\"name\":\"host3\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,"
+                      "\"tid\":7,\"args\":{\"name\":\"slave\\\"2\\\"\"}"),
+            std::string::npos);
+  // 1500 ns is not a whole microsecond: fractional ts with 3 decimals.
+  EXPECT_NE(json.find("\"ph\":\"i\",\"ts\":1.500,\"s\":\"t\",\"pid\":3,"
+                      "\"tid\":7,\"args\":{\"rank\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":0,\"dur\":2,"), std::string::npos);
+}
+
+TEST(ChromeTrace, TimestampsAreSortedAndNonNegative) {
+  // Interleave two "runs" on one bus (fig5 --trace shares a hub).
+  obs::TraceBus bus;
+  bus.instant(9 * sim::kMicrosecond, 0, 0, "c", "late");
+  bus.instant(1 * sim::kMicrosecond, 0, 0, "c", "early");
+  std::ostringstream os;
+  obs::write_chrome_trace(os, bus);
+  const std::string json = os.str();
+  EXPECT_LT(json.find("early"), json.find("late"));
+}
+
+// End-to-end: a simulated run through the harness emits a loadable trace
+// whose ts values are monotonic and whose pid/tid pairs are all named.
+TEST(ChromeTrace, HarnessRunExportsNamedMonotonicTrace) {
+  obs::Observability hub;
+  apps::MmConfig mm;
+  mm.n = 48;
+  exp::ExperimentConfig cfg;
+  cfg.slaves = 3;
+  cfg.world = exp::paper_world();
+  cfg.lb = exp::paper_lb();
+  cfg.obs = &hub;
+  exp::run_mm(mm, cfg);
+
+  ASSERT_FALSE(hub.trace.events().empty());
+  EXPECT_EQ(hub.trace.dropped(), 0u);
+  // Every event's (host, lane) has thread_name metadata (the rank/agent
+  // mapping Perfetto shows), and every host is named.
+  for (const obs::TraceEvent& e : hub.trace.events()) {
+    EXPECT_TRUE(hub.trace.lanes().count({e.host, e.lane}) == 1 ||
+                hub.trace.hosts().count(e.host) == 1)
+        << "unnamed pid/tid " << e.host << "/" << e.lane;
+    EXPECT_GE(e.t, 0);
+    EXPECT_GE(e.dur, 0);
+  }
+  std::ostringstream os;
+  obs::write_chrome_trace(os, hub.trace);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"master\""), std::string::npos);
+  EXPECT_NE(json.find("\"slave0\""), std::string::npos);
+  EXPECT_NE(json.find("\"lb.decision\""), std::string::npos);
+  EXPECT_NE(json.find("\"msg.send\""), std::string::npos);
+}
+
+// The acceptance property: a seeded run dispatches the bit-identical
+// event sequence with the flight recorder attached and without.
+TEST(ZeroPerturbation, TraceHashIsIdenticalWithRecorderAttached) {
+  for (const check::App app : {check::App::kMm, check::App::kSor}) {
+    const check::Scenario sc = check::generate_scenario(11, app);
+    const check::FuzzResult bare = check::run_scenario(sc);
+    obs::Observability hub;
+    const check::FuzzResult rec =
+        check::run_scenario(sc, check::InvariantSet::Fault::kNone, &hub);
+    EXPECT_EQ(bare.trace_hash, rec.trace_hash) << app_name(app);
+    EXPECT_TRUE(rec.ok);
+    EXPECT_FALSE(hub.trace.events().empty());
+  }
+}
+
+}  // namespace
+}  // namespace nowlb

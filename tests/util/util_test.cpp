@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -120,6 +121,68 @@ TEST(Cli, FallbacksApply) {
   Cli cli(1, argv);
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
   EXPECT_EQ(cli.get_int("missing", 9), 9);
+}
+
+/// Scoped fixture: captures log output and restores every global knob.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_sink(&captured_);
+    Log::set_level(LogLevel::Warn);
+    Log::clear_component_levels();
+  }
+  void TearDown() override {
+    Log::set_sink(&std::cerr);
+    Log::set_level(LogLevel::Warn);
+    Log::clear_component_levels();
+    Log::clear_time_source(this);
+  }
+  std::string text() const { return captured_.str(); }
+  std::ostringstream captured_;
+};
+
+TEST_F(LogTest, GlobalLevelFilters) {
+  NOWLB_LOG(Debug, "comp") << "hidden";
+  NOWLB_LOG(Warn, "comp") << "shown";
+  EXPECT_EQ(text().find("hidden"), std::string::npos);
+  EXPECT_NE(text().find("[WARN] [comp] shown"), std::string::npos);
+}
+
+TEST_F(LogTest, PerComponentOverrideRaisesOneComponent) {
+  Log::set_level("transport", LogLevel::Debug);
+  NOWLB_LOG(Debug, "transport") << "verbose transport";
+  NOWLB_LOG(Debug, "lb.master") << "still quiet";
+  EXPECT_NE(text().find("verbose transport"), std::string::npos);
+  EXPECT_EQ(text().find("still quiet"), std::string::npos);
+  Log::clear_component_levels();
+  NOWLB_LOG(Debug, "transport") << "quiet again";
+  EXPECT_EQ(text().find("quiet again"), std::string::npos);
+}
+
+TEST_F(LogTest, ComponentOverrideNeverSuppressesGlobalLevel) {
+  Log::set_level("transport", LogLevel::Error);
+  NOWLB_LOG(Warn, "transport") << "warn stays on";
+  EXPECT_NE(text().find("warn stays on"), std::string::npos);
+}
+
+TEST_F(LogTest, TimeSourcePrefixesSimulatedSeconds) {
+  Log::set_time_source([](void*) { return 12.345678; }, this);
+  NOWLB_LOG(Warn, "comp") << "stamped";
+  EXPECT_NE(text().find("[t=12.345678s] [WARN] [comp] stamped"),
+            std::string::npos);
+  Log::clear_time_source(this);
+  NOWLB_LOG(Warn, "comp") << "bare";
+  EXPECT_EQ(text().find("[t=12.345678s] [WARN] [comp] bare"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, ClearTimeSourceIgnoresWrongOwner) {
+  Log::set_time_source([](void*) { return 1.0; }, this);
+  int other = 0;
+  Log::clear_time_source(&other);
+  EXPECT_TRUE(Log::has_time_source());
+  Log::clear_time_source(this);
+  EXPECT_FALSE(Log::has_time_source());
 }
 
 }  // namespace
