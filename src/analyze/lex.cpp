@@ -1,0 +1,186 @@
+#include "analyze/lex.hpp"
+
+#include <cctype>
+
+namespace nowlb::analyze {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse a `#include` directive from a raw source line (before blanking —
+/// the path sits inside quotes, which the blanking pass erases). Returns
+/// false if the line is not an include.
+bool parse_include(const std::string& line, Include& out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  skip_ws();
+  if (line.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  skip_ws();
+  if (i >= line.size()) return false;
+  const char open = line[i];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (!close) return false;
+  const std::size_t end = line.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  out.path = line.substr(i + 1, end - i - 1);
+  out.angled = open == '<';
+  return true;
+}
+
+}  // namespace
+
+ScannedFile scan_source(std::string rel_path, const std::string& text) {
+  ScannedFile f;
+  f.rel_path = std::move(rel_path);
+  const auto slash = f.rel_path.find('/');
+  f.module = f.rel_path.substr(0, slash);  // whole name if no slash
+
+  // Split into lines (tolerate missing trailing newline and CRLF).
+  std::vector<std::string> raw;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+      raw.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) raw.push_back(std::move(cur));
+
+  f.code.resize(raw.size());
+  f.comments.resize(raw.size());
+
+  enum class St { Code, Line, Block, Str, Chr, Raw };
+  St st = St::Code;
+  std::string raw_delim;  // the )delim" closer for raw strings
+
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& in = raw[li];
+    std::string& code = f.code[li];
+    std::string& com = f.comments[li];
+    code.assign(in.size(), ' ');
+    if (st == St::Code) {
+      Include inc;
+      if (parse_include(in, inc)) {
+        inc.line = static_cast<int>(li) + 1;
+        f.includes.push_back(inc);
+      }
+    }
+    if (st == St::Line) st = St::Code;  // line comments end at EOL
+
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      switch (st) {
+        case St::Code: {
+          if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+            com.append(in, i + 2, std::string::npos);
+            st = St::Line;
+            i = in.size();  // rest of line consumed
+          } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+            st = St::Block;
+            ++i;
+          } else if (c == '"') {
+            // Raw string? Look back for R / uR / u8R / LR prefix ending here.
+            bool is_raw = false;
+            if (i > 0 && in[i - 1] == 'R' &&
+                (i == 1 || !ident_char(in[i - 2]) || in[i - 2] == '8' ||
+                 in[i - 2] == 'u' || in[i - 2] == 'U' || in[i - 2] == 'L')) {
+              // Require the R itself to start an identifier-ish prefix, so
+              // an identifier ending in R (fooR"x") is not misread. Good
+              // enough for linting; the repo has no such identifiers.
+              is_raw = true;
+            }
+            if (is_raw) {
+              const std::size_t paren = in.find('(', i + 1);
+              if (paren != std::string::npos) {
+                raw_delim = ")" + in.substr(i + 1, paren - i - 1) + "\"";
+                st = St::Raw;
+                i = paren;  // delimiters + open paren blanked
+              } else {
+                st = St::Str;  // malformed; treat as ordinary string
+              }
+            } else {
+              st = St::Str;
+            }
+          } else if (c == '\'' && (i == 0 || !ident_char(in[i - 1]))) {
+            // Identifier-adjacent ' is a digit separator (1'000'000).
+            st = St::Chr;
+          } else {
+            code[i] = c;
+          }
+          break;
+        }
+        case St::Str:
+          if (c == '\\') ++i;
+          else if (c == '"') st = St::Code;
+          break;
+        case St::Chr:
+          if (c == '\\') ++i;
+          else if (c == '\'') st = St::Code;
+          break;
+        case St::Block:
+          if (c == '*' && i + 1 < in.size() && in[i + 1] == '/') {
+            st = St::Code;
+            ++i;
+          } else {
+            com.push_back(c);
+          }
+          break;
+        case St::Raw:
+          if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+            i += raw_delim.size() - 1;
+            st = St::Code;
+          }
+          break;
+        case St::Line:
+          break;  // unreachable: handled above
+      }
+    }
+    // Unterminated ordinary string/char at EOL: recover (likely a macro
+    // continuation or our own misread; never let it swallow the file).
+    if (st == St::Str || st == St::Chr) st = St::Code;
+  }
+  return f;
+}
+
+std::size_t find_ident(const std::string& haystack, const std::string& ident,
+                       std::size_t from) {
+  for (std::size_t pos = haystack.find(ident, from);
+       pos != std::string::npos; pos = haystack.find(ident, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(haystack[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= haystack.size() || !ident_char(haystack[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+bool has_call(const std::string& line, const std::string& ident) {
+  for (std::size_t pos = find_ident(line, ident); pos != std::string::npos;
+       pos = find_ident(line, ident, pos + 1)) {
+    std::size_t i = pos + ident.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] == '(') {
+      // Reject declarations/member access: `.time(`, `->time(`, `::time(`
+      // still counts as a call only for `::` (std::time). A preceding
+      // `.`/`->` means a member function of some app type, not libc.
+      if (pos >= 1 && line[pos - 1] == '.') continue;
+      if (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>') continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nowlb::analyze

@@ -1,0 +1,51 @@
+// Lossy C++ scanner for nowlb-lint.
+//
+// Rules never need a real parse: they match identifier tokens and #include
+// directives. The scanner's job is to make that matching sound by blanking
+// everything that is not code — comments, string literals, character
+// literals, raw strings — so a rule keyword inside a docstring or a log
+// message can never fire. Comment text is kept separately, per line, because
+// that is where NOLINT suppressions live.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nowlb::analyze {
+
+struct Include {
+  int line = 0;            // 1-based
+  std::string path;        // as written, e.g. "sim/engine.hpp" or "vector"
+  bool angled = false;     // <...> vs "..."
+};
+
+struct ScannedFile {
+  /// Path relative to the lint root, forward slashes: "sim/network.hpp".
+  std::string rel_path;
+  /// First path component — the module this file belongs to ("sim").
+  std::string module;
+  /// Source lines with comments and string/char literals blanked to spaces.
+  /// Column positions are preserved, so token columns map back to the file.
+  std::vector<std::string> code;
+  /// Comment text per line (both // and /* */ bodies, concatenated).
+  std::vector<std::string> comments;
+  std::vector<Include> includes;
+
+  int line_count() const { return static_cast<int>(code.size()); }
+};
+
+/// Scan one file's contents. `rel_path` is stored verbatim.
+ScannedFile scan_source(std::string rel_path, const std::string& text);
+
+/// Find the next word-bounded occurrence of `ident` in `haystack` at or
+/// after `from`. Returns std::string::npos if absent. A match is rejected
+/// when touching an identifier character ([A-Za-z0-9_]) on either side.
+std::size_t find_ident(const std::string& haystack, const std::string& ident,
+                       std::size_t from = 0);
+
+/// True if `ident` occurs word-bounded and its next non-space character is
+/// '(' — i.e. it is spelled as a call. Used for bare C functions like
+/// time()/clock() whose names are too common to ban as plain identifiers.
+bool has_call(const std::string& line, const std::string& ident);
+
+}  // namespace nowlb::analyze

@@ -1,0 +1,96 @@
+// nowlb-lint — repo-specific determinism, layering, and protocol linter.
+//
+//   nowlb-lint [--root=]src [--baseline=.nowlb-lint-baseline]
+//              [--update-baseline] [--label=src] [--list-rules]
+//
+// Exit 0: clean (modulo baseline). Exit 1: fresh findings. Exit 2: usage.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "analyze/lint.hpp"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: nowlb-lint [--root=]DIR [options]\n"
+      "  --baseline=FILE     subtract the checked-in baseline\n"
+      "  --update-baseline   rewrite FILE from the current findings\n"
+      "  --label=NAME        path prefix in reports (default: the root)\n"
+      "  --list-rules        print the rule catalog and exit\n",
+      stderr);
+}
+
+void list_rules() {
+  for (const auto& r : nowlb::analyze::rule_catalog())
+    std::printf("%s  %-20s %s\n", r.code, r.name, r.hint);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nowlb::analyze;
+  LintOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (arg == "--update-baseline") {
+      opts.update_baseline = true;
+    } else if (const char* v = value("--root=")) {
+      opts.root = v;
+    } else if (const char* b = value("--baseline=")) {
+      opts.baseline_path = b;
+    } else if (const char* l = value("--label=")) {
+      opts.label = l;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && opts.root.empty()) {
+      opts.root = arg;
+    } else {
+      std::fprintf(stderr, "nowlb-lint: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (opts.root.empty()) {
+    usage();
+    return 2;
+  }
+  if (opts.label.empty()) opts.label = opts.root;
+  // Strip a trailing slash so labels render as "src/foo.hpp".
+  if (!opts.label.empty() && opts.label.back() == '/') opts.label.pop_back();
+
+  try {
+    const LintResult res = run_lint(opts);
+    if (opts.update_baseline) {
+      std::printf("nowlb-lint: baseline rewritten (%zu findings) in %s\n",
+                  res.fresh.size() + res.baselined.size(),
+                  opts.baseline_path.c_str());
+      return 0;
+    }
+    std::fputs(format_findings(res.fresh, opts.label).c_str(), stdout);
+    for (const auto& stale : res.stale_baseline)
+      std::printf("stale baseline entry (fixed? remove it): %s\n",
+                  stale.c_str());
+    std::printf(
+        "nowlb-lint: %d files, %zu fresh finding%s, %zu baselined, "
+        "%zu stale baseline entr%s\n",
+        res.files_scanned, res.fresh.size(),
+        res.fresh.size() == 1 ? "" : "s", res.baselined.size(),
+        res.stale_baseline.size(),
+        res.stale_baseline.size() == 1 ? "y" : "ies");
+    return res.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nowlb-lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,254 @@
+#include "analyze/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+
+namespace nowlb::analyze {
+
+namespace {
+
+// clang-format off
+const std::vector<Rule> kCatalog = {
+    {"D001", kRuleWallclock,
+     "virtual time only: use sim::Engine::now() / sim::Time"},
+    {"D002", kRuleEntropy,
+     "draw from an explicitly seeded nowlb::Rng (util/rng.hpp)"},
+    {"D003", kRuleUnordered,
+     "iteration order is unspecified: use std::map / sorted vector, or "
+     "whitelist with a justification"},
+    {"L001", kRuleLayer,
+     "depend downward only (util < msg < sim < obs < data < lb < load/loop "
+     "< apps < exp/check); move shared code down a layer"},
+    {"L002", kRuleCycle,
+     "break the include cycle with a forward declaration or an interface "
+     "header"},
+    {"P001", kRuleTagUnhandled,
+     "wire the tag into a handler dispatch or delete it"},
+    {"P002", kRuleTagNoRecv,
+     "add a receive-side dispatch (recv/try_recv/==/case) or delete the tag"},
+    {"S001", kRuleNolint,
+     "write // NOLINT(nowlb-<rule>: <reason>) — the reason is mandatory"},
+};
+// clang-format on
+
+const Rule* rule(const char* name) {
+  for (const auto& r : kCatalog)
+    if (std::string(r.name) == name) return &r;
+  return nullptr;
+}
+
+struct TokenBan {
+  const char* token;
+  const char* what;
+  bool call_only;  // only flag when spelled as a call: `tok (`
+};
+
+// D001 — wall-clock and OS time sources. Simulated code must read
+// Engine::now(); any of these makes a run depend on the host.
+const TokenBan kWallclock[] = {
+    {"system_clock", "std::chrono::system_clock", false},
+    {"steady_clock", "std::chrono::steady_clock", false},
+    {"high_resolution_clock", "std::chrono::high_resolution_clock", false},
+    {"gettimeofday", "gettimeofday()", false},
+    {"clock_gettime", "clock_gettime()", false},
+    {"timespec_get", "timespec_get()", false},
+    {"localtime", "localtime()", false},
+    {"gmtime", "gmtime()", false},
+    {"time", "time()", true},
+    {"clock", "clock()", true},
+};
+
+// D002 — entropy sources and default-seeded engines. Everything stochastic
+// must flow from an explicit seed through nowlb::Rng.
+const TokenBan kEntropy[] = {
+    {"random_device", "std::random_device", false},
+    {"mt19937", "std::mt19937", false},
+    {"mt19937_64", "std::mt19937_64", false},
+    {"default_random_engine", "std::default_random_engine", false},
+    {"minstd_rand", "std::minstd_rand", false},
+    {"minstd_rand0", "std::minstd_rand0", false},
+    {"ranlux24", "std::ranlux24", false},
+    {"ranlux48", "std::ranlux48", false},
+    {"knuth_b", "std::knuth_b", false},
+    {"random_shuffle", "std::random_shuffle", false},
+    {"rand", "rand()", true},
+    {"srand", "srand()", true},
+};
+
+// D003 — unordered associative containers. Hash iteration order is
+// unspecified and libstdc++-version dependent; on any output or decision
+// path it silently breaks bit-reproducibility.
+const char* const kUnordered[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+void scan_tokens(const ScannedFile& f, const Rule* r, const TokenBan* bans,
+                 std::size_t n_bans, std::vector<Finding>& out) {
+  std::map<std::string, int> occurrence;
+  for (int li = 0; li < f.line_count(); ++li) {
+    const std::string& line = f.code[li];
+    for (std::size_t b = 0; b < n_bans; ++b) {
+      const TokenBan& ban = bans[b];
+      const bool hit = ban.call_only ? has_call(line, ban.token)
+                                     : find_ident(line, ban.token) !=
+                                           std::string::npos;
+      if (!hit) continue;
+      Finding fd;
+      fd.rule = r;
+      fd.rel_path = f.rel_path;
+      fd.line = li + 1;
+      fd.message = std::string(ban.what) + " on a simulation path";
+      fd.key = std::string(ban.token) + "#" +
+               std::to_string(++occurrence[ban.token]);
+      out.push_back(std::move(fd));
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& rule_catalog() { return kCatalog; }
+
+const Rule* rule_by_name(const std::string& name) {
+  return rule(name.c_str());
+}
+
+RuleConfig default_config() {
+  RuleConfig cfg;
+  // D003 whitelist is intentionally empty: the one historical use
+  // (sim/network.hpp link_busy_until_) was converted to std::map. New
+  // entries need a comment here justifying why iteration order never
+  // escapes — or an inline NOLINT with a reason.
+  cfg.layer_of = {
+      {"util", 0}, {"msg", 1},  {"sim", 2},  {"obs", 3},
+      {"data", 4}, {"lb", 5},   {"load", 6}, {"loop", 6},
+      {"apps", 7}, {"exp", 8},  {"check", 8}, {"analyze", 9},
+  };
+  return cfg;
+}
+
+void run_determinism_rules(const ScannedFile& f, const RuleConfig& cfg,
+                           std::vector<Finding>& out) {
+  scan_tokens(f, rule(kRuleWallclock), kWallclock, std::size(kWallclock),
+              out);
+  if (f.rel_path != cfg.entropy_home)
+    scan_tokens(f, rule(kRuleEntropy), kEntropy, std::size(kEntropy), out);
+
+  const bool whitelisted =
+      std::find(cfg.unordered_whitelist.begin(),
+                cfg.unordered_whitelist.end(),
+                f.rel_path) != cfg.unordered_whitelist.end();
+  if (!whitelisted) {
+    const Rule* r = rule(kRuleUnordered);
+    std::map<std::string, int> occurrence;
+    for (int li = 0; li < f.line_count(); ++li) {
+      for (const char* tok : kUnordered) {
+        if (find_ident(f.code[li], tok) == std::string::npos) continue;
+        Finding fd;
+        fd.rule = r;
+        fd.rel_path = f.rel_path;
+        fd.line = li + 1;
+        fd.message = std::string("std::") + tok + " outside the whitelist";
+        fd.key = std::string(tok) + "#" + std::to_string(++occurrence[tok]);
+        out.push_back(std::move(fd));
+      }
+    }
+  }
+}
+
+void run_protocol_rules(const std::vector<ScannedFile>& files,
+                        std::vector<Finding>& out) {
+  struct TagInfo {
+    std::string file;
+    int line = 0;
+    int uses = 0;       // references outside the declaring line
+    int recv_uses = 0;  // of those, receive-side dispatch references
+  };
+  std::map<std::string, TagInfo> tags;
+
+  auto is_tag_name = [](const std::string& id) {
+    return id.size() > 4 && id.compare(0, 4, "kTag") == 0 &&
+           std::isupper(static_cast<unsigned char>(id[4]));
+  };
+  // Collect identifiers starting with kTag on one line.
+  auto extract_idents = [&](const std::string& line,
+                            std::vector<std::string>& ids) {
+    for (std::size_t i = 0; i < line.size();) {
+      if (line.compare(i, 4, "kTag") == 0 &&
+          (i == 0 || !(std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
+                       line[i - 1] == '_'))) {
+        std::size_t j = i;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                line[j] == '_'))
+          ++j;
+        ids.push_back(line.substr(i, j - i));
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  // Pass 1: declarations — `constexpr ... Tag kTagX = ...`.
+  for (const auto& f : files) {
+    for (int li = 0; li < f.line_count(); ++li) {
+      const std::string& line = f.code[li];
+      if (find_ident(line, "constexpr") == std::string::npos) continue;
+      if (find_ident(line, "Tag") == std::string::npos) continue;
+      std::vector<std::string> ids;
+      extract_idents(line, ids);
+      for (const auto& id : ids) {
+        if (!is_tag_name(id) || tags.count(id)) continue;
+        tags[id] = TagInfo{f.rel_path, li + 1, 0, 0};
+      }
+    }
+  }
+
+  // Pass 2: uses. A receive-side use mentions a recv primitive, a tag
+  // comparison, or a switch case on the same line.
+  for (const auto& f : files) {
+    for (int li = 0; li < f.line_count(); ++li) {
+      const std::string& line = f.code[li];
+      std::vector<std::string> ids;
+      extract_idents(line, ids);
+      for (const auto& id : ids) {
+        auto it = tags.find(id);
+        if (it == tags.end()) continue;
+        if (it->second.file == f.rel_path && it->second.line == li + 1)
+          continue;  // the declaration itself
+        ++it->second.uses;
+        const bool recvish =
+            line.find("recv") != std::string::npos ||
+            line.find("==") != std::string::npos ||
+            line.find("!=") != std::string::npos ||
+            find_ident(line, "case") != std::string::npos;
+        if (recvish) ++it->second.recv_uses;
+      }
+    }
+  }
+
+  for (const auto& [name, info] : tags) {
+    if (info.uses == 0) {
+      Finding fd;
+      fd.rule = rule(kRuleTagUnhandled);
+      fd.rel_path = info.file;
+      fd.line = info.line;
+      fd.message = "message tag " + name + " is declared but never dispatched";
+      fd.key = name;
+      out.push_back(std::move(fd));
+    } else if (info.recv_uses == 0) {
+      Finding fd;
+      fd.rule = rule(kRuleTagNoRecv);
+      fd.rel_path = info.file;
+      fd.line = info.line;
+      fd.message = "message tag " + name +
+                   " is sent but never examined on the receive side";
+      fd.key = name;
+      out.push_back(std::move(fd));
+    }
+  }
+}
+
+}  // namespace nowlb::analyze

@@ -1,0 +1,81 @@
+// Rule catalog for nowlb-lint.
+//
+// Three families, one contract each:
+//   D (determinism)  — the simulator must be a pure function of its seeds.
+//   L (layering)     — the include graph must respect the module order.
+//   P (protocol)     — every wire tag must be handled somewhere.
+// Plus S (suppression hygiene): a NOLINT without a reason is itself a
+// finding, so suppressions stay auditable.
+//
+// Findings are identified by (rule, file, key) where `key` is line-number
+// independent: that triple is what the baseline file stores, so baselined
+// findings survive unrelated edits to the same file.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/lex.hpp"
+
+namespace nowlb::analyze {
+
+struct Rule {
+  const char* code;  // "D001"
+  const char* name;  // "nowlb-wallclock" — the NOLINT spelling
+  const char* hint;  // one-line fix hint appended to every finding
+};
+
+/// The catalog, in report order. Stable: rule codes are part of the
+/// baseline format.
+const std::vector<Rule>& rule_catalog();
+
+/// Lookup by NOLINT name ("nowlb-wallclock"). Null if unknown.
+const Rule* rule_by_name(const std::string& name);
+
+inline constexpr const char* kRuleWallclock = "nowlb-wallclock";
+inline constexpr const char* kRuleEntropy = "nowlb-entropy";
+inline constexpr const char* kRuleUnordered = "nowlb-unordered";
+inline constexpr const char* kRuleLayer = "nowlb-layer";
+inline constexpr const char* kRuleCycle = "nowlb-cycle";
+inline constexpr const char* kRuleTagUnhandled = "nowlb-tag-unhandled";
+inline constexpr const char* kRuleTagNoRecv = "nowlb-tag-norecv";
+inline constexpr const char* kRuleNolint = "nowlb-nolint";
+
+struct Finding {
+  const Rule* rule = nullptr;
+  std::string rel_path;  // relative to the lint root
+  int line = 0;
+  std::string message;
+  /// Line-independent fingerprint used for baseline matching. For token
+  /// rules this is "<token>#<n>" (n-th occurrence in the file); for
+  /// layering it names the offending include; for protocol rules the tag.
+  std::string key;
+};
+
+struct RuleConfig {
+  /// Files (root-relative) where unordered containers are allowed. Each
+  /// entry must carry a justification in the config source — this is the
+  /// "explicit whitelist" for D003.
+  std::vector<std::string> unordered_whitelist;
+  /// The one module allowed to touch raw entropy sources (D002 exemption).
+  std::string entropy_home = "util/rng.hpp";
+  /// Module -> layer rank. Includes may only point at strictly lower
+  /// ranks, or stay within the module. Unlisted modules are not checked.
+  std::map<std::string, int> layer_of;
+};
+
+/// The repo's layering: util < msg < sim < obs < data < lb < load/loop <
+/// apps < exp/check/analyze (see DESIGN.md §11).
+RuleConfig default_config();
+
+/// D-rules: scan one file for wall-clock, entropy, and unordered-container
+/// tokens. Appends to `out`.
+void run_determinism_rules(const ScannedFile& f, const RuleConfig& cfg,
+                           std::vector<Finding>& out);
+
+/// P-rules: cross-file pass over every `kTag*` constant declaration.
+void run_protocol_rules(const std::vector<ScannedFile>& files,
+                        std::vector<Finding>& out);
+
+}  // namespace nowlb::analyze

@@ -1,0 +1,19 @@
+// P-rule fixture: three wire tags with three fates.
+#pragma once
+
+namespace sim {
+using Tag = int;
+}
+
+namespace lbfx {
+
+// Declared, sent, and examined on the receive side (sender.cpp): clean.
+inline constexpr sim::Tag kTagGood = 7001;
+
+// Declared and sent, but no recv/comparison anywhere: P002.
+inline constexpr sim::Tag kTagBlast = 7002;
+
+// Declared and never referenced again: P001.
+inline constexpr sim::Tag kTagOrphan = 7003;
+
+}  // namespace lbfx

@@ -1,0 +1,18 @@
+// P-rule fixture: the dispatch side for orders.hpp's tags.
+#include "lb/orders.hpp"
+
+namespace lbfx {
+
+struct Ctx {
+  void send(int dst, sim::Tag tag) { (void)dst, (void)tag; }
+  int recv(sim::Tag tag) { return tag; }
+};
+
+void pump(Ctx& ctx) {
+  ctx.send(1, kTagGood);
+  ctx.send(1, kTagBlast);  // send-only: never matched on receive
+  while (ctx.recv(kTagGood) != 0) {
+  }
+}
+
+}  // namespace lbfx

@@ -1,0 +1,10 @@
+// L002 fixture, half one: includes its own includer.
+#pragma once
+
+#include "sim/cycle_b.hpp"
+
+namespace fx {
+struct A {
+  int payload = 0;
+};
+}  // namespace fx

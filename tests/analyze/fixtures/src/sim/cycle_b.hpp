@@ -1,0 +1,10 @@
+// L002 fixture, half two: closes the cycle back to cycle_a.hpp.
+#pragma once
+
+#include "sim/cycle_a.hpp"
+
+namespace fx {
+struct B {
+  int payload = 0;
+};
+}  // namespace fx

@@ -1,0 +1,17 @@
+// D002 fixture: raw entropy sources outside util/rng.hpp.
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+int roll() {
+  std::random_device rd;                         // D002
+  std::mt19937 gen(rd());                        // D002 (x2 on two lines)
+  return static_cast<int>(gen() % 6) + rand();   // D002 (rand call)
+}
+
+// Identifier containing the token as a substring must not fire.
+int rand_like_counter = 0;
+int bump() { return ++rand_like_counter; }
+
+}  // namespace fx

@@ -1,0 +1,8 @@
+// L001 fixture: util (layer 0) reaching up into lb (layer 5).
+#pragma once
+
+#include "lb/orders.hpp"
+
+namespace fx {
+inline int peek_tag() { return lbfx::kTagGood; }
+}  // namespace fx

@@ -1,0 +1,30 @@
+// D001 fixture: every host-clock read below must be flagged; the mentions
+// inside this comment (system_clock, time()) must not be.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace fx {
+
+inline double now_seconds() {
+  auto t = std::chrono::steady_clock::now();          // D001
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline long stamp() { return time(nullptr); }         // D001
+
+inline long ticks() { return clock(); }               // D001
+
+// A member call spelled like the libc function is fine: the engine's
+// virtual clock is the whole point.
+struct Engine {
+  long now = 0;
+  long time_() const { return now; }
+};
+inline long ok(const Engine& e) { return e.time_(); }
+
+// String mention must not fire either.
+inline const char* label() { return "system_clock"; }
+
+}  // namespace fx
