@@ -104,7 +104,11 @@ ScannedFile scan_source(std::string rel_path, const std::string& text) {
             if (is_raw) {
               const std::size_t paren = in.find('(', i + 1);
               if (paren != std::string::npos) {
-                raw_delim = ")" + in.substr(i + 1, paren - i - 1) + "\"";
+                // Built via assign/append (no substr temporary): GCC 12's
+                // -O3 -Wrestrict misfires on operator+ / += chains here.
+                raw_delim.assign(1, ')');
+                raw_delim.append(in, i + 1, paren - i - 1);
+                raw_delim.push_back('"');
                 st = St::Raw;
                 i = paren;  // delimiters + open paren blanked
               } else {

@@ -124,6 +124,7 @@ RuleConfig default_config() {
       {"util", 0}, {"msg", 1},  {"sim", 2},  {"obs", 3},
       {"data", 4}, {"lb", 5},   {"load", 6}, {"loop", 6},
       {"apps", 7}, {"exp", 8},  {"check", 8}, {"analyze", 9},
+      {"perf", 9},
   };
   return cfg;
 }

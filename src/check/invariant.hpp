@@ -6,11 +6,12 @@
 // Failures into the owning InvariantSet instead of throwing — a fuzzing
 // run wants every violated invariant of a seed, not just the first.
 //
-// The InvariantSet is the wiring hub. Its dispatch methods are inline so
-// the lb runtime can call them without a link-time dependency on the check
-// library (lb carries only a nullable InvariantSet* in LbConfig); all
-// hookpoints fire synchronously at zero virtual cost, so an instrumented
-// run dispatches the exact same event sequence as a bare one.
+// The InvariantSet is the wiring hub. It implements lb::RuntimeHooks, the
+// lb layer's abstract observer interface, so the lb runtime reports to it
+// without any include of check/ (lb carries only a nullable RuntimeHooks*
+// in LbConfig); all hookpoints fire synchronously at zero virtual cost,
+// so an instrumented run dispatches the exact same event sequence as a
+// bare one.
 #pragma once
 
 #include <memory>
@@ -20,6 +21,7 @@
 
 #include "data/ownership.hpp"
 #include "data/slice.hpp"
+#include "lb/hooks.hpp"
 #include "lb/plan.hpp"
 #include "lb/protocol.hpp"
 #include "sim/engine.hpp"
@@ -105,7 +107,7 @@ class Invariant {
   InvariantSet* set_ = nullptr;
 };
 
-class InvariantSet : public data::SliceLedger {
+class InvariantSet : public data::SliceLedger, public lb::RuntimeHooks {
  public:
   /// Observation-layer fault injection: corrupt the event stream fed to the
   /// checkers to prove the failure path fires (the simulated system itself
@@ -142,25 +144,27 @@ class InvariantSet : public data::SliceLedger {
     return out;
   }
 
-  // ---- dispatch (called from lb/master.cpp, lb/slave.cpp, data/) ----
+  // ---- lb::RuntimeHooks dispatch (called from lb/master.cpp,
+  // lb/slave.cpp, lb/transport.cpp) ----
   void on_master_reports(sim::Time t, int round,
                          const std::vector<lb::StatusReport>& reports,
-                         const std::vector<bool>& mask) {
+                         const std::vector<bool>& mask) override {
     for (auto& c : checkers_) c->on_master_reports(t, round, reports, mask);
   }
   void on_master_decision(sim::Time t, const lb::Decision& d,
-                          const std::vector<int>& remaining) {
+                          const std::vector<int>& remaining) override {
     for (auto& c : checkers_) c->on_master_decision(t, d, remaining);
   }
   void on_master_instructions(sim::Time t, int rank,
-                              const lb::Instructions& ins) {
+                              const lb::Instructions& ins) override {
     for (auto& c : checkers_) c->on_master_instructions(t, rank, ins);
   }
-  void on_slave_report(sim::Time t, int rank, const lb::StatusReport& rep) {
+  void on_slave_report(sim::Time t, int rank,
+                       const lb::StatusReport& rep) override {
     for (auto& c : checkers_) c->on_slave_report(t, rank, rep);
   }
   void on_slave_instructions(sim::Time t, int rank,
-                             const lb::Instructions& ins) {
+                             const lb::Instructions& ins) override {
     if (fault_ == Fault::kWrongRound && !fault_fired_) {
       fault_fired_ = true;
       lb::Instructions wrong = ins;
@@ -173,7 +177,7 @@ class InvariantSet : public data::SliceLedger {
     for (auto& c : checkers_) c->on_slave_instructions(t, rank, ins);
   }
   void on_units_packed(sim::Time t, int from_rank, int to_rank, int ordered,
-                       int actual) {
+                       int actual) override {
     if (fault_ == Fault::kSkipCredit && !fault_fired_) {
       fault_fired_ = true;
       return;  // the transfer's credit never reaches the checkers
@@ -183,25 +187,27 @@ class InvariantSet : public data::SliceLedger {
     }
   }
   void on_units_unpacked(sim::Time t, int rank, int from_rank, int ordered,
-                         int actual) {
+                         int actual) override {
     for (auto& c : checkers_) {
       c->on_units_unpacked(t, rank, from_rank, ordered, actual);
     }
   }
-  void on_rank_evicted(sim::Time t, int rank, sim::Pid pid) {
+  void on_rank_evicted(sim::Time t, int rank, sim::Pid pid) override {
     for (auto& c : checkers_) c->on_rank_evicted(t, rank, pid);
   }
-  void on_orphans_assigned(sim::Time t, int rank, const std::vector<int>& ids) {
+  void on_orphans_assigned(sim::Time t, int rank,
+                           const std::vector<int>& ids) override {
     for (auto& c : checkers_) c->on_orphans_assigned(t, rank, ids);
   }
-  void on_adopted(sim::Time t, int rank, const std::vector<int>& ids) {
+  void on_adopted(sim::Time t, int rank, const std::vector<int>& ids) override {
     for (auto& c : checkers_) c->on_adopted(t, rank, ids);
   }
   void on_transport_deliver(sim::Time t, sim::Pid src, sim::Pid dst, int tag,
-                            std::uint32_t seq) {
+                            std::uint32_t seq) override {
     for (auto& c : checkers_) c->on_transport_deliver(t, src, dst, tag, seq);
   }
-  void on_transport_gave_up(sim::Time t, sim::Pid src, sim::Pid dst, int tag) {
+  void on_transport_gave_up(sim::Time t, sim::Pid src, sim::Pid dst,
+                            int tag) override {
     for (auto& c : checkers_) c->on_transport_gave_up(t, src, dst, tag);
   }
   void on_run_end(sim::Time t) {

@@ -98,6 +98,11 @@ class DistArray {
   /// Serialize the given slices (removing them) into a movement payload.
   msg::Bytes pack_and_remove(const std::vector<SliceId>& ids) {
     msg::Writer w;
+    // Encoded size: count + per slice (id, marker, length, data); exact
+    // when every slice holds slice_len_ elements, an upper bound otherwise.
+    w.reserve(sizeof(std::uint32_t) +
+              ids.size() * (2 * sizeof(std::int32_t) + sizeof(std::uint64_t) +
+                            slice_len_ * sizeof(T)));
     w.put<std::uint32_t>(static_cast<std::uint32_t>(ids.size()));
     for (SliceId id : ids) {
       auto [contents, marker] = remove(id);

@@ -76,10 +76,16 @@ void synthesize_lb_series(const std::vector<obs::DecisionRecord>& rounds,
     }
     const double t = sim::to_seconds(rec.t);
     for (std::size_t r = 0; r < rec.raw_rates.size(); ++r) {
-      const std::string suffix = "." + std::to_string(r);
-      add_point("lb.raw_rate" + suffix, t, rec.raw_rates[r]);
-      add_point("lb.adj_rate" + suffix, t, rec.rates[r]);
-      add_point("lb.work" + suffix, t, static_cast<double>(rec.target[r]));
+      // Build each name via append (GCC 12's -O3 -Wrestrict misfires on
+      // the `const char* + std::string&&` operator+ overload here).
+      std::string suffix = ".";
+      suffix += std::to_string(r);
+      std::string name = "lb.raw_rate";
+      add_point(name + suffix, t, rec.raw_rates[r]);
+      name = "lb.adj_rate";
+      add_point(name + suffix, t, rec.rates[r]);
+      name = "lb.work";
+      add_point(name + suffix, t, static_cast<double>(rec.target[r]));
     }
     add_point("lb.period_s", t, rec.period_s);
   }
@@ -98,6 +104,8 @@ Measurement finish(const ExperimentConfig& cfg, RunParts& parts,
   m.elapsed_s = sim::to_seconds(w.now());
   m.seq_s = seq_s;
   m.speedup = seq_s / m.elapsed_s;
+  m.trace_hash = w.engine().trace_hash();
+  m.dispatched_events = w.engine().dispatched_events();
   if (cluster.has_master()) m.stats = cluster.stats();
 
   // efficiency = T_seq / sum_p (elapsed - competing CPU on p's host)

@@ -38,6 +38,11 @@ struct Measurement {
   double efficiency = 0;    // paper's resource-usage efficiency
   double competing_cpu_s = 0;  // total competing CPU during the run
   lb::MasterStats stats;
+  /// Engine determinism fingerprint and event count for the run — the
+  /// perf/determinism suites assert these are bit-identical across
+  /// repeats and across host-side optimizations.
+  std::uint64_t trace_hash = 0;
+  std::uint64_t dispatched_events = 0;
 };
 
 struct ExperimentConfig {

@@ -7,11 +7,9 @@
 
 #include "sim/time.hpp"
 
-namespace nowlb::check {
-class InvariantSet;
-}
-
 namespace nowlb::lb {
+
+class RuntimeHooks;
 
 using sim::Time;
 
@@ -101,10 +99,11 @@ struct LbConfig {
   Time heartbeat_timeout = 0;
   bool fault_tolerance() const { return heartbeat_timeout > 0; }
 
-  /// Optional runtime invariant checkers (src/check). Master and slaves
-  /// report every protocol event to it; null disables all checking. Not
-  /// owned; must outlive the run.
-  check::InvariantSet* check = nullptr;
+  /// Optional runtime event hooks (lb/hooks.hpp); src/check's
+  /// InvariantSet implements them. Master and slaves report every
+  /// protocol event to it; null disables all reporting. Not owned; must
+  /// outlive the run.
+  RuntimeHooks* check = nullptr;
 };
 
 }  // namespace nowlb::lb

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <string>
 
-#include "check/invariant.hpp"
+#include "lb/hooks.hpp"
 #include "msg/channel.hpp"
 #include "obs/obs.hpp"
 #include "sim/world.hpp"
@@ -495,7 +495,8 @@ Task<> Master::send_instructions(int round, bool phase_done,
 }
 
 Task<> Master::send_instr(int rank, const Instructions& ins) {
-  co_await transport_->send(cfg_.slaves[rank], kTagInstr, msg::encode(ins));
+  co_await transport_->send(cfg_.slaves[rank], kTagInstr,
+                            msg::encode(ins, ins.encoded_size()));
 }
 
 void Master::attach_ft(Instructions& ins, int rank) {

@@ -51,6 +51,18 @@ struct StatusReport {
   /// survivors' inventories after an eviction (DESIGN.md §9).
   std::vector<std::int32_t> inventory;
 
+  /// Exact wire size; pass to msg::encode(v, size_hint) on hot paths.
+  std::size_t encoded_size() const {
+    std::size_t n = sizeof(round) + sizeof(units_done) + sizeof(elapsed_s) +
+                    sizeof(remaining) + sizeof(lb_blocked_s) +
+                    sizeof(move_time_s) + sizeof(moved_units) + sizeof(done);
+    if (ft) {
+      n += sizeof(ft) + sizeof(std::uint64_t) +
+           inventory.size() * sizeof(std::int32_t);
+    }
+    return n;
+  }
+
   void encode(msg::Writer& w) const {
     w.put(round).put(units_done).put(elapsed_s).put(remaining)
         .put(lb_blocked_s).put(move_time_s).put(moved_units).put(done);
@@ -86,6 +98,10 @@ struct MoveOrder {
   std::int32_t count = 0;
   std::uint8_t is_send = 0;
 
+  static constexpr std::size_t encoded_size() {
+    return sizeof(peer_rank) + sizeof(count) + sizeof(is_send);
+  }
+
   void encode(msg::Writer& w) const { w.put(peer_rank).put(count).put(is_send); }
   static MoveOrder decode(msg::Reader& r) {
     MoveOrder m;
@@ -115,6 +131,18 @@ struct Instructions {
   std::vector<std::int32_t> evicted;
   /// Orphaned unit ids this slave must reconstruct and take over.
   std::vector<std::int32_t> adopt;
+
+  /// Exact wire size; pass to msg::encode(v, size_hint) on hot paths.
+  std::size_t encoded_size() const {
+    std::size_t n = sizeof(round) + sizeof(phase_done) +
+                    sizeof(units_until_next) + sizeof(std::uint32_t) +
+                    orders.size() * MoveOrder::encoded_size();
+    if (ft) {
+      n += sizeof(ft) + 2 * sizeof(std::uint64_t) +
+           (evicted.size() + adopt.size()) * sizeof(std::int32_t);
+    }
+    return n;
+  }
 
   void encode(msg::Writer& w) const {
     w.put(round).put(phase_done).put(units_until_next);

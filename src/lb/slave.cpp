@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "check/invariant.hpp"
+#include "lb/hooks.hpp"
 #include "msg/channel.hpp"
 #include "obs/obs.hpp"
 #include "sim/world.hpp"
@@ -86,7 +86,8 @@ Task<> SlaveAgent::send_report() {
   if (lb_.check != nullptr) {
     lb_.check->on_slave_report(ctx_.now(), rank_, rep);
   }
-  co_await transport_->send(master_, kTagReport, msg::encode(rep));
+  co_await transport_->send(master_, kTagReport,
+                            msg::encode(rep, rep.encoded_size()));
 
   awaiting_instr_ = true;
   units_since_ = 0;

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <utility>
 
-#include "check/invariant.hpp"
 #include "lb/protocol.hpp"
 #include "msg/serialize.hpp"
 #include "obs/obs.hpp"
@@ -15,7 +14,7 @@ namespace nowlb::lb {
 
 Transport::Transport(sim::Context& ctx, TransportConfig cfg,
                      std::vector<sim::Tag> reliable_tags,
-                     check::InvariantSet* check)
+                     RuntimeHooks* check)
     : ctx_(ctx),
       cfg_(cfg),
       tags_(std::move(reliable_tags)),
@@ -68,7 +67,23 @@ sim::Task<> Transport::send(sim::Pid dst, sim::Tag tag, sim::Bytes payload) {
   if (blackholed(dst)) co_return;
   const Key k{dst, tag};
   const std::uint32_t seq = next_send_seq_[k]++;
+  sim::Message m = make_envelope(dst, tag, seq, payload);
+  // Charge the sender's software overhead like a plain send, then post
+  // the envelope and keep only the payload for retransmission.
+  co_await ctx_.compute(ctx_.world().config().msg.send_overhead);
+  Pending& p = pending_[k][seq];
+  p.payload = std::move(payload);
+  ++stats_.sent;
+  if (m_sent_ != nullptr) m_sent_->inc();
+  post_raw(std::move(m));
+  arm_timer(k, seq);
+}
+
+sim::Message Transport::make_envelope(sim::Pid dst, sim::Tag tag,
+                                      std::uint32_t seq,
+                                      const sim::Bytes& payload) const {
   msg::Writer w;
+  w.reserve(sizeof(seq) + sizeof(std::uint64_t) + payload.size());
   w.put(seq);
   w.put_bytes(payload);
   sim::Message m;
@@ -76,15 +91,7 @@ sim::Task<> Transport::send(sim::Pid dst, sim::Tag tag, sim::Bytes payload) {
   m.dst = dst;
   m.tag = tag;
   m.payload = w.take();
-  // Charge the sender's software overhead like a plain send, then post
-  // the enveloped copy and keep it for retransmission.
-  co_await ctx_.compute(ctx_.world().config().msg.send_overhead);
-  Pending& p = pending_[k][seq];
-  p.msg = m;
-  ++stats_.sent;
-  if (m_sent_ != nullptr) m_sent_->inc();
-  post_raw(std::move(m));
-  arm_timer(k, seq);
+  return m;
 }
 
 void Transport::post_raw(sim::Message m) {
@@ -165,7 +172,7 @@ void Transport::on_timeout(Key k, std::uint32_t seq) {
                     {"seq", static_cast<double>(seq)},
                     {"attempt", static_cast<double>(p.attempts)});
   }
-  post_raw(p.msg);
+  post_raw(make_envelope(k.peer, k.tag, seq, p.payload));
   arm_timer(k, seq);
 }
 
@@ -237,7 +244,7 @@ bool Transport::on_message(sim::Message& m) {
 
 void Transport::deliver_async(sim::Message m, std::uint32_t seq) {
   sim::Mailbox* mb = &ctx_.process().mailbox();
-  check::InvariantSet* check = check_;
+  RuntimeHooks* check = check_;
   const sim::Pid src = m.src;
   const sim::Pid dst = m.dst;
   const int tag = m.tag;

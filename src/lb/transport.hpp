@@ -23,14 +23,11 @@
 #include <vector>
 
 #include "lb/config.hpp"
+#include "lb/hooks.hpp"
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
 #include "sim/task.hpp"
-
-namespace nowlb::check {
-class InvariantSet;
-}
 
 namespace nowlb::obs {
 class TraceBus;
@@ -54,7 +51,7 @@ class Transport {
   /// Installs the mailbox tap (when enabled). `reliable_tags` is the set
   /// of tags to envelope/ack; `check` may be null.
   Transport(sim::Context& ctx, TransportConfig cfg,
-            std::vector<sim::Tag> reliable_tags, check::InvariantSet* check);
+            std::vector<sim::Tag> reliable_tags, RuntimeHooks* check);
   ~Transport();
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -86,13 +83,19 @@ class Transport {
     auto operator<=>(const Key&) const = default;
   };
   struct Pending {
-    sim::Message msg;  // enveloped copy, reposted verbatim on timeout
+    /// Application payload only; the envelope (seq prefix + length) is
+    /// rebuilt byte-identically on retransmit, so the retained state is
+    /// one buffer instead of a full message copy.
+    sim::Bytes payload;
     int attempts = 0;
     sim::Engine::EventId timer;
   };
 
   bool on_message(sim::Message& m);  // the tap; true = consumed
   void post_raw(sim::Message m);     // network post, no CPU charge
+  /// Frame a reliable message: seq-prefixed envelope around the payload.
+  sim::Message make_envelope(sim::Pid dst, sim::Tag tag, std::uint32_t seq,
+                             const sim::Bytes& payload) const;
   void send_ack(sim::Pid dst, sim::Tag tag, std::uint32_t seq);
   void arm_timer(Key k, std::uint32_t seq);
   void on_timeout(Key k, std::uint32_t seq);
@@ -106,7 +109,7 @@ class Transport {
   sim::Context& ctx_;
   TransportConfig cfg_;
   std::vector<sim::Tag> tags_;
-  check::InvariantSet* check_;
+  RuntimeHooks* check_;
 
   // ---- flight recorder (cached from the world's hub; null when off or
   // when the transport is disabled) ----

@@ -11,12 +11,12 @@
 #include <type_traits>
 #include <vector>
 
-#include "sim/message.hpp"
+#include "util/bytes.hpp"
 #include "util/check.hpp"
 
 namespace nowlb::msg {
 
-using sim::Bytes;
+using Bytes = nowlb::Bytes;
 
 class Writer {
  public:
@@ -44,6 +44,13 @@ class Writer {
   Writer& put_bytes(const Bytes& b) {
     put<std::uint64_t>(b.size());
     append(b.data(), b.size());
+    return *this;
+  }
+
+  /// Pre-size the buffer when the caller knows the encoded size (or a good
+  /// bound) up front, avoiding growth reallocations on the hot path.
+  Writer& reserve(std::size_t n) {
+    buf_.reserve(buf_.size() + n);
     return *this;
   }
 
@@ -131,6 +138,15 @@ concept Decodable = requires(Reader& r) {
 template <Encodable T>
 Bytes encode(const T& value) {
   Writer w;
+  value.encode(w);
+  return w.take();
+}
+
+/// encode() with a pre-sized buffer; pair with the struct's encoded_size().
+template <Encodable T>
+Bytes encode(const T& value, std::size_t size_hint) {
+  Writer w;
+  w.reserve(size_hint);
   value.encode(w);
   return w.take();
 }

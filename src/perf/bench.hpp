@@ -1,0 +1,81 @@
+// Benchmark registry and runner (DESIGN.md §12).
+//
+// A Benchmark is a named closure returning one metric sample per timed
+// repetition. The runner executes `warmup` untimed repetitions, then
+// `reps` timed ones, and summarizes with nearest-rank median and p90 —
+// robust to the occasional scheduler hiccup that poisons a mean.
+//
+// The simulated workload inside a sample is bit-identical from rep to rep
+// (fixed seeds, virtual time); only the host's wall time varies. That is
+// what makes the BENCH_*.json trajectory comparable across commits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nowlb::perf {
+
+struct BenchOptions {
+  bool quick = false;  // CI mode: fewer reps/warmup (same workload sizes)
+  int reps = 0;        // 0: default (quick ? 5 : 9)
+  int warmup = -1;     // <0: default (quick ? 1 : 2)
+
+  int effective_reps() const { return reps > 0 ? reps : (quick ? 5 : 9); }
+  int effective_warmup() const {
+    return warmup >= 0 ? warmup : (quick ? 1 : 2);
+  }
+};
+
+struct BenchResult {
+  std::string name;
+  std::string group;  // "micro" | "figure" | "fuzz"
+  std::string unit;   // "events/s", "msgs/s", "s", ...
+  bool higher_is_better = true;
+  int reps = 0;
+  int warmup = 0;
+  std::vector<double> samples;  // one per timed repetition, in run order
+  /// Auxiliary deterministic facts about the workload (virtual elapsed
+  /// time, lb rounds from the decision ledger, units moved, ...).
+  std::map<std::string, double> extra;
+
+  double median() const;
+  double p90() const;
+  double min() const;
+  double max() const;
+};
+
+struct Benchmark {
+  std::string name;
+  std::string group;
+  std::string unit;
+  bool higher_is_better = true;
+  /// One repetition; returns the sample. May fill `extra` (kept from the
+  /// last repetition, where every repetition writes the same values).
+  std::function<double(const BenchOptions&, std::map<std::string, double>&)>
+      run;
+};
+
+class Suite {
+ public:
+  void add(Benchmark b) { benchmarks_.push_back(std::move(b)); }
+  const std::vector<Benchmark>& benchmarks() const { return benchmarks_; }
+
+  /// Run every benchmark whose name contains `filter` (empty: all),
+  /// logging one line per benchmark to `log`.
+  std::vector<BenchResult> run(const BenchOptions& opt,
+                               const std::string& filter,
+                               std::ostream& log) const;
+
+ private:
+  std::vector<Benchmark> benchmarks_;
+};
+
+/// The full nowlb suite: engine/transport/serialization micro benchmarks,
+/// fig5-fig9 macro wall times, and fuzz scenario classes.
+Suite default_suite();
+
+}  // namespace nowlb::perf

@@ -1,0 +1,24 @@
+// BENCH_*.json report writer (schema documented in DESIGN.md §12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/bench.hpp"
+
+namespace nowlb::perf {
+
+/// Bump when the JSON layout changes incompatibly; scripts/bench_compare.py
+/// refuses to compare across schema versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct ReportMeta {
+  std::string date;   // "YYYY-MM-DD"
+  std::string label;  // free-form ("ci", "pre-opt", ...)
+  bool quick = false;
+};
+
+std::string to_json(const ReportMeta& meta,
+                    const std::vector<BenchResult>& results);
+
+}  // namespace nowlb::perf

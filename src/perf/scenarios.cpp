@@ -1,0 +1,129 @@
+#include "perf/scenarios.hpp"
+
+#include <cstdio>
+
+#include "exp/harness.hpp"
+#include "load/generators.hpp"
+#include "obs/obs.hpp"
+
+namespace nowlb::perf {
+
+namespace {
+
+/// Fixed-format printed line for a figure run. Every field is derived
+/// from virtual time or protocol counters, so two runs of the same
+/// scenario must produce byte-identical strings.
+FigureRun finish(const char* name, const exp::Measurement& m,
+                 const obs::Observability* hub) {
+  FigureRun r;
+  r.trace_hash = m.trace_hash;
+  r.dispatched_events = m.dispatched_events;
+  r.elapsed_virtual_s = m.elapsed_s;
+  r.lb_rounds = m.stats.rounds;
+  r.units_moved = m.stats.units_moved;
+  r.ledger_records =
+      hub != nullptr ? static_cast<int>(hub->ledger.records().size()) : 0;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s: elapsed=%.9fs speedup=%.6f eff=%.6f rounds=%d moved=%d "
+                "events=%llu",
+                name, m.elapsed_s, m.speedup, m.efficiency, m.stats.rounds,
+                m.stats.units_moved,
+                static_cast<unsigned long long>(m.dispatched_events));
+  r.summary = buf;
+  return r;
+}
+
+exp::ExperimentConfig base_config(int slaves, bool with_obs,
+                                  obs::Observability* hub) {
+  exp::ExperimentConfig cfg;
+  cfg.slaves = slaves;
+  cfg.world = exp::paper_world();
+  cfg.lb = exp::paper_lb();
+  if (with_obs) cfg.obs = hub;
+  return cfg;
+}
+
+FigureRun run_fig5(bool with_obs) {
+  obs::Observability hub;
+  auto cfg = base_config(4, with_obs, &hub);
+  apps::MmConfig mm;  // paper-default n=500
+  const auto m = exp::run_mm(mm, cfg);
+  return finish("fig5.mm_dedicated", m, with_obs ? &hub : nullptr);
+}
+
+FigureRun run_fig6(bool with_obs) {
+  obs::Observability hub;
+  auto cfg = base_config(4, with_obs, &hub);
+  apps::SorConfig sor;  // paper-default n=2000, 20 sweeps
+  const auto m = exp::run_sor(sor, cfg);
+  return finish("fig6.sor_dedicated", m, with_obs ? &hub : nullptr);
+}
+
+FigureRun run_fig7(bool with_obs) {
+  obs::Observability hub;
+  auto cfg = base_config(4, with_obs, &hub);
+  cfg.loads.push_back({0, [] { return load::constant(); }});
+  apps::MmConfig mm;
+  const auto m = exp::run_mm(mm, cfg);
+  return finish("fig7.mm_loaded", m, with_obs ? &hub : nullptr);
+}
+
+FigureRun run_fig8(bool with_obs) {
+  obs::Observability hub;
+  auto cfg = base_config(4, with_obs, &hub);
+  cfg.loads.push_back({0, [] { return load::constant(); }});
+  apps::SorConfig sor;
+  const auto m = exp::run_sor(sor, cfg);
+  return finish("fig8.sor_loaded", m, with_obs ? &hub : nullptr);
+}
+
+FigureRun run_fig9(bool with_obs) {
+  obs::Observability hub;
+  auto cfg = base_config(4, with_obs, &hub);
+  cfg.loads.push_back({0, [] {
+                         return load::oscillating(20 * sim::kSecond,
+                                                  10 * sim::kSecond);
+                       }});
+  apps::MmConfig mm;
+  mm.repeats = 3;  // three phases across the oscillating load
+  const auto m = exp::run_mm(mm, cfg);
+  return finish("fig9.mm_oscillating", m, with_obs ? &hub : nullptr);
+}
+
+}  // namespace
+
+const std::vector<FigureScenario>& figure_scenarios() {
+  static const std::vector<FigureScenario> kScenarios = {
+      {"fig5.mm_dedicated", run_fig5},   {"fig6.sor_dedicated", run_fig6},
+      {"fig7.mm_loaded", run_fig7},      {"fig8.sor_loaded", run_fig8},
+      {"fig9.mm_oscillating", run_fig9},
+  };
+  return kScenarios;
+}
+
+const std::vector<FuzzCase>& fuzz_cases() {
+  static const std::vector<FuzzCase> kCases = [] {
+    std::vector<FuzzCase> v;
+    v.push_back({"fuzz.mm.clean", check::App::kMm, 11, {}});
+    v.push_back({"fuzz.sor.clean", check::App::kSor, 12, {}});
+    v.push_back({"fuzz.lu.clean", check::App::kLu, 13, {}});
+    FuzzCase faulty{"fuzz.mm.faults", check::App::kMm, 14, {}};
+    faulty.faults.drop_rate = 0.15;
+    faulty.faults.dup_rate = 0.1;
+    faulty.faults.reorder_delay = 3 * sim::kMillisecond;
+    v.push_back(faulty);
+    return v;
+  }();
+  return kCases;
+}
+
+check::FuzzResult run_fuzz_case(const FuzzCase& c, bool with_obs) {
+  check::Scenario sc = check::generate_scenario(c.seed, c.app);
+  if (c.faults.any()) check::apply_fault_plan(sc, c.faults);
+  obs::Observability hub;
+  return check::run_scenario(sc, check::InvariantSet::Fault::kNone,
+                             with_obs ? &hub : nullptr);
+}
+
+}  // namespace nowlb::perf

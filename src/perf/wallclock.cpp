@@ -1,0 +1,18 @@
+#include "perf/wallclock.hpp"
+
+#include <ctime>
+
+namespace nowlb::perf {
+
+std::string utc_date() {
+  // NOLINTNEXTLINE(nowlb-wallclock: report metadata stamps the host date; never on a simulation path)
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  // NOLINTNEXTLINE(nowlb-wallclock: report metadata, as above)
+  gmtime_r(&now, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+}  // namespace nowlb::perf

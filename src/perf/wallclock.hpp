@@ -1,0 +1,25 @@
+// Host wall-clock access for the perf harness.
+//
+// This is the ONE place in src/ that reads host time. Everything simulated
+// runs on sim::Engine's virtual clock (enforced by nowlb-lint D001); the
+// harness measures how fast the host chews through that virtual work, so
+// it must read a real clock — hence the scoped suppressions below.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace nowlb::perf {
+
+/// Monotonic host seconds (arbitrary epoch); subtract two readings.
+inline double wall_seconds() {
+  // NOLINTNEXTLINE(nowlb-wallclock: the perf harness times host execution by design; never on a simulation path)
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Host date as "YYYY-MM-DD" (UTC) for the BENCH_<date>.json filename.
+std::string utc_date();
+
+}  // namespace nowlb::perf

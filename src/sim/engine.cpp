@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace nowlb::sim {
@@ -7,33 +9,43 @@ namespace nowlb::sim {
 Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   NOWLB_CHECK(t >= now_, "event scheduled in the past: t=" << t
                                                            << " now=" << now_);
-  auto alive = std::make_shared<bool>(true);
-  EventId id{seq_, alive};
-  q_.push(Ev{t, seq_, std::move(cb), std::move(alive)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  EventId id{seq_, slot, slots_[slot].gen};
+  q_.push(Ev{t, seq_, slot});
   ++seq_;
   ++live_events_;
   return id;
 }
 
 void Engine::cancel(EventId& id) {
-  if (auto alive = id.alive.lock()) {
-    if (*alive) {
-      *alive = false;
+  if (id.slot != EventId::kNoSlot && id.slot < slots_.size()) {
+    Slot& s = slots_[id.slot];
+    if (s.gen == id.gen && !s.cancelled) {
+      // The callback stays alive until the heap entry pops; only the flag
+      // is set here, preserving destruction-order semantics.
+      s.cancelled = true;
       --live_events_;
     }
   }
-  id.alive.reset();
+  id.slot = EventId::kNoSlot;
 }
 
 bool Engine::step() {
   while (!q_.empty()) {
-    // priority_queue::top is const; move out via const_cast is the standard
-    // idiom-free workaround — copy the small fields and move the callback
-    // by re-popping instead. We accept one callback copy avoidance via
-    // const_cast, which is safe because we pop immediately.
-    Ev ev = std::move(const_cast<Ev&>(q_.top()));
+    const Ev ev = q_.top();
     q_.pop();
-    if (!*ev.alive) continue;  // cancelled
+    if (slots_[ev.slot].cancelled) {
+      recycle(ev.slot);
+      continue;
+    }
     --live_events_;
     NOWLB_CHECK(ev.t >= now_, "event queue time went backwards");
     now_ = ev.t;
@@ -41,7 +53,11 @@ bool Engine::step() {
     trace_hash_ = (trace_hash_ ^ static_cast<std::uint64_t>(ev.t)) *
                   0x100000001b3ull;
     trace_hash_ = (trace_hash_ ^ ev.seq) * 0x100000001b3ull;
-    ev.cb();
+    // Move the callback out and recycle before invoking: the callback may
+    // schedule new events (reusing this slot) or cancel others.
+    Callback cb = std::move(slots_[ev.slot].cb);
+    recycle(ev.slot);
+    cb();
     return true;
   }
   return false;
@@ -63,11 +79,13 @@ void Engine::run_until(Time t) {
   stopped_ = false;
   while (!stopped_ && !q_.empty()) {
     // Peek next live event time.
-    if (!*q_.top().alive) {
+    const Ev& top = q_.top();
+    if (slots_[top.slot].cancelled) {
+      recycle(top.slot);
       q_.pop();
       continue;
     }
-    if (q_.top().t > t) break;
+    if (top.t > t) break;
     step();
   }
   if (now_ < t && !stopped_) now_ = t;

@@ -3,11 +3,17 @@
 //
 // Ties are broken by insertion sequence number, so simulations are fully
 // deterministic for a given sequence of schedule calls.
+//
+// Storage layout: the heap holds small POD entries (time, seq, slot index)
+// while callbacks live in a recycled slot arena. Cancellation flags the
+// slot; a generation counter makes stale EventIds (fired or recycled
+// events) harmless. This keeps schedule/cancel churn allocation-free once
+// the arena has warmed up — the engine.timer_churn benchmark tracks it.
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -19,10 +25,13 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
-  /// Opaque handle for cancelling a scheduled event.
+  /// Opaque handle for cancelling a scheduled event. Copyable; any copy
+  /// cancels, and cancelling a fired or already-cancelled event is a no-op.
   struct EventId {
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
     std::uint64_t seq = 0;
-    std::weak_ptr<bool> alive;
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t gen = 0;
   };
 
   Time now() const { return now_; }
@@ -59,21 +68,39 @@ class Engine {
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
+  /// Heap entry: POD, cheap to sift. The callback lives in slots_[slot].
   struct Ev {
     Time t;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> alive;  // *alive == false once cancelled
+    std::uint32_t slot;
   };
   struct Later {
     bool operator()(const Ev& a, const Ev& b) const {
       return a.t != b.t ? a.t > b.t : a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;   // bumped on recycle; stale EventIds mismatch
+    bool cancelled = false;  // flagged by cancel(); entry skipped at pop
+  };
 
   bool step();  // dispatch one event; false if queue empty
 
+  /// Destroy the slot's callback and return it to the free list. Called at
+  /// pop time (fired or cancelled alike), so callback destruction order
+  /// matches the old one-owner-per-heap-entry layout.
+  void recycle(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.cb = nullptr;
+    ++s.gen;
+    s.cancelled = false;
+    free_slots_.push_back(slot);
+  }
+
   std::priority_queue<Ev, std::vector<Ev>, Later> q_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;

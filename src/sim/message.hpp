@@ -1,9 +1,9 @@
 // Messages exchanged between simulated processes.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "util/bytes.hpp"
 
 namespace nowlb::sim {
 
@@ -15,7 +15,7 @@ inline constexpr Pid kAnyPid = -1;
 using Tag = int;
 inline constexpr Tag kAnyTag = -1;
 
-using Bytes = std::vector<std::byte>;
+using Bytes = nowlb::Bytes;
 
 struct Message {
   Pid src = kAnyPid;

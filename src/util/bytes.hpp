@@ -1,0 +1,14 @@
+// The repo-wide raw byte buffer: message payloads, serialized archives.
+//
+// Lives in util so the serialization layer (msg/) and the simulator (sim/)
+// can share one definition without either including the other.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nowlb {
+
+using Bytes = std::vector<std::byte>;
+
+}  // namespace nowlb

@@ -128,6 +128,49 @@ TEST(Allocate, HugeTotalSurvivesFloatRounding) {
   }
 }
 
+// Property sweep over ~200 seeded random vectors: the three allocation
+// invariants the runtime depends on must hold for every input shape —
+// conservation (sum == total), non-negativity, and rate-monotonicity
+// (a strictly faster slave never receives less; largest-remainder ties
+// can equalize but never invert the order).
+TEST(Allocate, PropertySweepConservesAndOrdersByRate) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (auto& r : rates) {
+      switch (rng.below(4)) {
+        case 0: r = 0.0; break;                          // stalled slave
+        case 1: r = rng.uniform(1e-9, 1e-3); break;      // near-stalled
+        case 2: r = rng.uniform(0.1, 10.0); break;       // typical
+        default: r = rng.uniform(10.0, 1e6); break;      // very fast
+      }
+    }
+    const int total = static_cast<int>(rng.below(100'000));
+    const auto a = proportional_allocation(rates, total);
+    ASSERT_EQ(a.size(), rates.size()) << "iter " << iter;
+
+    long long sum = 0;
+    for (int v : a) {
+      EXPECT_GE(v, 0) << "iter " << iter;
+      sum += v;
+    }
+    EXPECT_EQ(sum, total) << "iter " << iter;
+
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (rates[static_cast<std::size_t>(i)] >
+            rates[static_cast<std::size_t>(j)]) {
+          EXPECT_GE(a[static_cast<std::size_t>(i)],
+                    a[static_cast<std::size_t>(j)])
+              << "iter " << iter << ": rate " << rates[static_cast<std::size_t>(i)]
+              << " got less than rate " << rates[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+}
+
 TEST(ProjectedTime, MaxOverSlaves) {
   EXPECT_DOUBLE_EQ(projected_time({10, 20}, {1.0, 4.0}), 10.0);
   EXPECT_DOUBLE_EQ(projected_time({10, 20}, {1.0, 1.0}), 20.0);
