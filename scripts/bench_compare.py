@@ -31,6 +31,14 @@ import sys
 
 EXPECTED_SCHEMA = 1
 
+# Absolute ceilings checked against the *current* report regardless of any
+# baseline: these quantities have a budget, not just a trajectory. The
+# flight recorder's wall-time tax (instrumented/plain ratio) must stay
+# within 5%.
+ABS_LIMITS = {
+    "obs.overhead": 1.05,
+}
+
 
 def load_report(path):
     try:
@@ -92,6 +100,15 @@ def compare(baseline, current, threshold):
             lines.append(f"  ok        {name}: {arrow}")
     for name in sorted(set(cur) - set(base)):
         lines.append(f"  NEW       {name}: no baseline yet")
+    for name in sorted(ABS_LIMITS):
+        if name not in cur:
+            continue
+        limit = ABS_LIMITS[name]
+        median = cur[name]["median"]
+        if median > limit:
+            regressions.append(name)
+            lines.append(f"  OVERLIMIT {name}: median {median:.6g} exceeds "
+                         f"absolute ceiling {limit:.6g}")
     return regressions, lines
 
 
@@ -167,6 +184,20 @@ def self_test():
     regs, lines = compare(base, noisy, 0.15)
     assert regs == ["wall"], regs
     assert any("noisy" in l for l in lines), lines
+
+    # 8. Absolute ceilings bind even when the trajectory looks fine (and
+    #    even for benchmarks with no baseline at all).
+    taxed = report(thru=(100.0, True), wall=(2.0, False))
+    taxed["benchmarks"].append({
+        "name": "obs.overhead", "unit": "x", "higher_is_better": False,
+        "median": 1.2, "samples": [1.2],
+    })
+    regs, lines = compare(base, taxed, 0.15)
+    assert regs == ["obs.overhead"], regs
+    assert any("OVERLIMIT" in l for l in lines), lines
+    taxed["benchmarks"][-1]["median"] = 1.03
+    regs, _ = compare(base, taxed, 0.15)
+    assert regs == [], regs
 
     print("bench_compare: self-test passed")
     return 0

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Schema check for the flight recorder's Chrome trace_event JSON.
 
-Usage: validate_trace.py TRACE.json
+Usage: validate_trace.py [--require-causal] TRACE.json
 
 Validates that the file is well-formed JSON, uses the trace_event object
 format ({"traceEvents": [...]}), and that every event satisfies the subset
@@ -13,6 +13,22 @@ of the spec the exporter emits:
   * every event carries integer pid/tid and an args object
   * non-metadata events are sorted by ts (Perfetto does not require this,
     but the exporter guarantees it)
+
+Causal well-formedness (DESIGN.md §13) is always checked when cz.* events
+are present, and required to be present with --require-causal:
+
+  * cz.window round ids are strictly monotone per rank. Figure sweeps
+    share one hub across several runs whose events the exporter merges by
+    timestamp, so when a (rank, round) window appears more than once the
+    trace is multi-run and this check is skipped (the others still apply);
+    single-run traces are checked strictly.
+  * causal span durations are non-negative
+  * every instruction application (lb/slave.instr) has a parent report
+    span (lb/slave.report, same rank and round) unless the rank was
+    evicted (lb/lb.evict) — a killed rank's round subgraph just ends
+
+The per-run form of all three rules also lives in the C++ analyzer
+(obs/causal.cpp), which `nowlb-inspect` applies to run files.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 """
@@ -26,14 +42,72 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_causal(events: list, required: bool) -> int:
+    """The trace-level mirror of obs/causal.cpp's well-formedness rules."""
+    windows = []  # (rank, round, index) of cz.window, in file order
+    reports = set()  # (rank, round) of lb/slave.report
+    instrs = []  # (rank, round, index) of lb/slave.instr
+    evicted = set()  # ranks declared dead by the master
+    causal_events = 0
+    for i, e in enumerate(events):
+        if e.get("ph") == "M":
+            continue
+        cat = e.get("cat")
+        name = e.get("name")
+        args = e["args"]
+        if cat == "cz":
+            causal_events += 1
+            if e["ph"] == "X" and e.get("dur", 0) < 0:
+                fail(f"event {i}: causal span {name} has negative dur")
+            if name == "cz.window":
+                rank = args.get("rank")
+                rnd = args.get("round")
+                if rank is None or rnd is None:
+                    fail(f"event {i}: cz.window missing rank/round args")
+                windows.append((rank, rnd, i))
+        elif cat == "lb":
+            if name == "slave.report":
+                reports.add((args.get("rank"), args.get("round")))
+            elif name == "slave.instr":
+                instrs.append((args.get("rank"), args.get("round"), i))
+            elif name == "lb.evict":
+                evicted.add(args.get("rank"))
+    # A duplicated (rank, round) window means several runs share this hub
+    # (figure sweep) and their streams are merged by timestamp: per-rank
+    # monotonicity is only defined per run, so check it on single-run
+    # traces only.
+    single_run = len({(r, n) for r, n, _ in windows}) == len(windows)
+    if single_run:
+        last = {}  # rank -> last window round
+        for rank, rnd, i in windows:
+            if rank in last and rnd <= last[rank]:
+                fail(
+                    f"event {i}: rank {rank} window rounds not monotone"
+                    f" ({rnd} after {last[rank]})"
+                )
+            last[rank] = rnd
+    for rank, rnd, i in instrs:
+        if (rank, rnd) not in reports and rank not in evicted:
+            fail(
+                f"event {i}: instruction application round {rnd} on rank"
+                f" {rank} has no parent report span"
+            )
+    if required and causal_events == 0:
+        fail("--require-causal: no cz.* events in the trace")
+    return causal_events
+
+
 def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: validate_trace.py TRACE.json")
+    args = sys.argv[1:]
+    require_causal = "--require-causal" in args
+    args = [a for a in args if a != "--require-causal"]
+    if len(args) != 1:
+        fail("usage: validate_trace.py [--require-causal] TRACE.json")
     try:
-        with open(sys.argv[1], encoding="utf-8") as f:
+        with open(args[0], encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {sys.argv[1]}: {e}")
+        fail(f"cannot parse {args[0]}: {e}")
 
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail('top level must be an object with a "traceEvents" array')
@@ -85,9 +159,10 @@ def main() -> None:
 
     if counts["i"] + counts["X"] == 0:
         fail("trace contains only metadata")
+    causal = check_causal(events, require_causal)
     print(
         f"validate_trace: ok — {counts['M']} metadata, {counts['i']} instant,"
-        f" {counts['X']} complete event(s)"
+        f" {counts['X']} complete event(s), {causal} causal"
     )
 
 

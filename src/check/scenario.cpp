@@ -7,6 +7,7 @@
 #include "data/ownership.hpp"
 #include "lb/cluster.hpp"
 #include "load/generators.hpp"
+#include "obs/attach.hpp"
 #include "obs/obs.hpp"
 #include "sim/world.hpp"
 #include "util/rng.hpp"
@@ -212,7 +213,7 @@ FuzzResult run_scenario(const Scenario& sc, InvariantSet::Fault fault,
   sim::World world(sc.world);
   // Attach before the cluster is built: the master/slave/transport
   // emitters bind to the hub at construction.
-  world.set_obs(obs);
+  obs::attach(world, obs);
 
   InvariantSet set;
   set.bind_clock(&world.engine());

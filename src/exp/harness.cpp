@@ -1,6 +1,7 @@
 #include "exp/harness.hpp"
 
 #include "load/generators.hpp"
+#include "obs/attach.hpp"
 #include "util/check.hpp"
 
 namespace nowlb::exp {
@@ -43,7 +44,7 @@ struct RunParts {
         cluster(attach(world, obs), std::move(cc)) {}
 
   static sim::World& attach(sim::World& w, obs::Observability* o) {
-    w.set_obs(o);
+    obs::attach(w, o);
     return w;
   }
 };

@@ -1,0 +1,350 @@
+// nowlb-inspect: record a run to a run file, then explain where its time
+// went — per-round causal breakdowns, a parallel-efficiency series, the
+// critical path, and an A/B diff of two runs (DESIGN.md §13).
+//
+//   nowlb-inspect --record=bal.nir --app=mm --n=160 --load=0
+//   nowlb-inspect --record=nolb.nir --app=mm --n=160 --load=0 --no-balance
+//   nowlb-inspect --report=bal.nir --top=5
+//   nowlb-inspect --report=bal.nir --json
+//   nowlb-inspect --report=bal.nir --diff=nolb.nir
+//
+// The diff is the paper's Figs. 5-9 claim as a single number: the same
+// workload with balancing on vs off, compared by measured efficiency.
+// Malformed or truncated run files fail the load with a nonzero exit.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "apps/mm.hpp"
+#include "apps/sor.hpp"
+#include "exp/harness.hpp"
+#include "load/generators.hpp"
+#include "obs/causal.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/ledger.hpp"
+#include "obs/obs.hpp"
+#include "obs/runfile.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using nowlb::obs::CausalGraph;
+using nowlb::obs::CriticalPath;
+using nowlb::obs::LoadedRun;
+using nowlb::obs::RoundBreakdown;
+
+int record(const nowlb::Cli& cli) {
+  const std::string path = cli.get("record", "");
+  const std::string app = cli.get("app", "mm");
+  const int slaves = static_cast<int>(cli.get_int("slaves", 4));
+  const int load_rank = static_cast<int>(cli.get_int("load", -1));
+  const bool no_balance = cli.get_bool("no-balance", false);
+
+  nowlb::obs::Observability hub;
+  nowlb::exp::ExperimentConfig cfg;
+  cfg.slaves = slaves;
+  cfg.world = nowlb::exp::paper_world();
+  cfg.world.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1994));
+  cfg.lb = nowlb::exp::paper_lb();
+  cfg.lb.causal = true;  // wire-level round propagation for the analyzer
+  if (no_balance) {
+    // Balancing off: the gate can never pass, so no work ever moves — the
+    // paper's "without load balancing" baseline.
+    cfg.lb.improvement_threshold = 1e18;
+  }
+  if (load_rank >= 0) {
+    if (load_rank >= slaves) {
+      std::fprintf(stderr, "--load=%d out of range (%d slaves)\n", load_rank,
+                   slaves);
+      return 2;
+    }
+    cfg.loads.push_back(
+        {load_rank, [] { return nowlb::load::constant(); }});
+  }
+  cfg.obs = &hub;
+
+  nowlb::exp::Measurement m;
+  std::map<std::string, std::string> meta;
+  if (app == "mm") {
+    nowlb::apps::MmConfig mm;
+    mm.n = static_cast<int>(cli.get_int("n", 160));
+    mm.repeats = static_cast<int>(cli.get_int("repeats", 1));
+    m = nowlb::exp::run_mm(mm, cfg);
+    meta["n"] = std::to_string(mm.n);
+  } else if (app == "sor") {
+    nowlb::apps::SorConfig sor;
+    sor.n = static_cast<int>(cli.get_int("n", 400));
+    sor.sweeps = static_cast<int>(cli.get_int("repeats", 8));
+    m = nowlb::exp::run_sor(sor, cfg);
+    meta["n"] = std::to_string(sor.n);
+  } else {
+    std::fprintf(stderr, "unknown --app=%s (mm|sor)\n", app.c_str());
+    return 2;
+  }
+
+  auto fmt = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return std::string(buf);
+  };
+  meta["app"] = app;
+  meta["slaves"] = std::to_string(slaves);
+  meta["seed"] = std::to_string(cfg.world.seed);
+  meta["balance"] = no_balance ? "off" : "on";
+  if (load_rank >= 0) meta["load_rank"] = std::to_string(load_rank);
+  meta["elapsed_s"] = fmt(m.elapsed_s);
+  meta["speedup"] = fmt(m.speedup);
+  meta["efficiency"] = fmt(m.efficiency);  // the paper's §5.1 metric
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 2;
+  }
+  nowlb::obs::write_runfile(out, hub.trace, hub.ledger, meta);
+  std::printf(
+      "recorded %s: app=%s slaves=%d balance=%s elapsed=%.3fs "
+      "efficiency=%.3f (%zu events, %zu ledger rounds)\n",
+      path.c_str(), app.c_str(), slaves, no_balance ? "off" : "on",
+      m.elapsed_s, m.efficiency, hub.trace.events().size(),
+      hub.ledger.records().size());
+  return 0;
+}
+
+bool load(const std::string& path, LoadedRun& run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!nowlb::obs::load_runfile(in, run, error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+double meta_num(const LoadedRun& run, const std::string& key) {
+  auto it = run.meta.find(key);
+  if (it == run.meta.end()) return 0;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+void print_text_report(const LoadedRun& run, const CausalGraph& g,
+                       std::size_t top_k) {
+  std::printf("run:");
+  for (const auto& [key, value] : run.meta) {
+    std::printf(" %s=%s", key.c_str(), value.c_str());
+  }
+  std::printf("\n");
+  std::printf(
+      "%5s %5s %6s %5s %9s %9s %9s %9s %9s %6s\n", "round", "ranks", "gate",
+      "moved", "compute", "blocked", "transprt", "decision", "migrate",
+      "eff");
+  for (const RoundBreakdown& r : g.rounds) {
+    std::printf("%5d %5d %6s %5ld %8.3fs %8.3fs %8.3fs %8.3fs %8.3fs %5.1f%%\n",
+                r.round, r.ranks,
+                r.gate >= 0
+                    ? nowlb::obs::gate_name(static_cast<nowlb::obs::Gate>(r.gate))
+                    : "-",
+                r.units_moved, r.compute_s, r.blocked_s, r.transport_s,
+                r.decision_s, r.migration_s, 100 * r.efficiency);
+  }
+  std::printf("overall: %d ranks, wall %.3fs, compute %.3fs, efficiency "
+              "%.1f%%",
+              g.nranks, g.wall_s(), g.total_compute_s(),
+              100 * g.efficiency());
+  const double paper_eff = meta_num(run, "efficiency");
+  if (paper_eff > 0) std::printf(" (paper metric %.1f%%)", 100 * paper_eff);
+  std::printf("\n");
+  if (!g.evicted.empty()) {
+    std::printf("evicted ranks:");
+    for (int r : g.evicted) std::printf(" %d", r);
+    std::printf("\n");
+  }
+
+  const CriticalPath path = nowlb::obs::critical_path(g);
+  std::printf("critical path: %zu steps, %.3fs of %.3fs wall\n",
+              path.steps.size(), nowlb::sim::to_seconds(path.length()),
+              g.wall_s());
+  for (const auto& w : nowlb::obs::top_edges(path, top_k)) {
+    std::printf("  %-14s", nowlb::obs::span_kind_name(w.kind));
+    if (w.rank >= 0) {
+      std::printf(" rank %-3d", w.rank);
+    } else {
+      std::printf(" master  ");
+    }
+    std::printf(" %8.3fs over %3d step(s)", nowlb::sim::to_seconds(w.total),
+                w.count);
+    if (w.blocked_s > 0) std::printf(" (%.3fs blocked)", w.blocked_s);
+    std::printf("\n");
+  }
+  for (const std::string& p : g.problems) {
+    std::printf("PROBLEM: %s\n", p.c_str());
+  }
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+void print_json_report(const LoadedRun& run, const CausalGraph& g,
+                       std::size_t top_k) {
+  std::ostringstream os;
+  os << "{\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : run.meta) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape(os, key);
+    os << "\":\"";
+    json_escape(os, value);
+    os << "\"";
+  }
+  os << "},\"nranks\":" << g.nranks << ",\"wall_s\":" << g.wall_s()
+     << ",\"compute_s\":" << g.total_compute_s()
+     << ",\"efficiency\":" << g.efficiency() << ",\"rounds\":[";
+  first = true;
+  for (const RoundBreakdown& r : g.rounds) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"round\":" << r.round << ",\"ranks\":" << r.ranks
+       << ",\"gate\":" << r.gate << ",\"units_moved\":" << r.units_moved
+       << ",\"compute_s\":" << r.compute_s
+       << ",\"blocked_s\":" << r.blocked_s
+       << ",\"transport_s\":" << r.transport_s
+       << ",\"decision_s\":" << r.decision_s
+       << ",\"migration_s\":" << r.migration_s
+       << ",\"efficiency\":" << r.efficiency << "}";
+  }
+  os << "],\"critical_path\":[";
+  const CriticalPath path = nowlb::obs::critical_path(g);
+  first = true;
+  for (const auto& w : nowlb::obs::top_edges(path, top_k)) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"kind\":\"" << nowlb::obs::span_kind_name(w.kind)
+       << "\",\"rank\":" << w.rank
+       << ",\"total_s\":" << nowlb::sim::to_seconds(w.total)
+       << ",\"steps\":" << w.count << ",\"blocked_s\":" << w.blocked_s
+       << "}";
+  }
+  os << "],\"problems\":[";
+  first = true;
+  for (const std::string& p : g.problems) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape(os, p);
+    os << "\"";
+  }
+  os << "]}";
+  std::printf("%s\n", os.str().c_str());
+}
+
+int diff(const LoadedRun& a, const CausalGraph& ga, const std::string& path_b) {
+  LoadedRun b;
+  if (!load(path_b, b)) return 1;
+  const CausalGraph gb =
+      nowlb::obs::build_causal_graph(b.trace, b.ledger);
+
+  auto describe = [](const char* tag, const LoadedRun& run,
+                     const CausalGraph& g) {
+    auto get = [&](const char* key) {
+      auto it = run.meta.find(key);
+      return it == run.meta.end() ? std::string("?") : it->second;
+    };
+    std::printf("%s: app=%s balance=%s elapsed=%.3fs efficiency=%.1f%% "
+                "(trace-derived %.1f%%), %zu rounds\n",
+                tag, get("app").c_str(), get("balance").c_str(),
+                meta_num(run, "elapsed_s"), 100 * meta_num(run, "efficiency"),
+                100 * g.efficiency(), g.rounds.size());
+  };
+  describe("A", a, ga);
+  describe("B", b, gb);
+
+  const double eff_a = meta_num(a, "efficiency");
+  const double eff_b = meta_num(b, "efficiency");
+  const double el_a = meta_num(a, "elapsed_s");
+  const double el_b = meta_num(b, "elapsed_s");
+  if (eff_a > 0 && eff_b > 0) {
+    std::printf("efficiency delta (A - B): %+.1f points\n",
+                100 * (eff_a - eff_b));
+  }
+  if (el_a > 0 && el_b > 0) {
+    std::printf("elapsed delta: A is %+.1f%% vs B (%.3fs vs %.3fs)\n",
+                100 * (el_a - el_b) / el_b, el_a, el_b);
+  }
+  const bool ok = ga.well_formed() && gb.well_formed();
+  for (const std::string& p : ga.problems) std::printf("A PROBLEM: %s\n", p.c_str());
+  for (const std::string& p : gb.problems) std::printf("B PROBLEM: %s\n", p.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nowlb::Cli cli(argc, argv);
+  static const char* kKnown[] = {"help",    "record", "app",    "n",
+                                 "repeats", "slaves", "seed",   "load",
+                                 "no-balance", "report", "json", "top",
+                                 "diff"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::string name = arg.substr(2, arg.find('=') - 2);
+    bool known = false;
+    for (const char* k : kKnown) known = known || name == k;
+    if (!known) {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (cli.has("help") || (!cli.has("record") && !cli.has("report"))) {
+    std::printf(
+        "usage: nowlb-inspect --record=FILE [--app=mm|sor] [--n=N]\n"
+        "                     [--repeats=R] [--slaves=P] [--seed=S]\n"
+        "                     [--load=RANK] [--no-balance]\n"
+        "       nowlb-inspect --report=FILE [--json] [--top=K]\n"
+        "       nowlb-inspect --report=FILE --diff=FILE2\n"
+        "\n"
+        "--record runs the experiment with causal tracing enabled and\n"
+        "writes a run file. --report reconstructs the causal round DAG:\n"
+        "per-round time breakdown (compute / blocked / transport /\n"
+        "decision / migration), efficiency series, and the critical\n"
+        "path's top contributors. --diff compares two runs — balancing\n"
+        "on vs off on the same workload reproduces the paper's\n"
+        "efficiency claim as one number.\n");
+    return cli.has("help") ? 0 : 2;
+  }
+
+  if (cli.has("record")) return record(cli);
+
+  LoadedRun run;
+  if (!load(cli.get("report", ""), run)) return 1;
+  const CausalGraph g = nowlb::obs::build_causal_graph(run.trace, run.ledger);
+  const auto top_k = static_cast<std::size_t>(cli.get_int("top", 5));
+
+  if (cli.has("diff")) return diff(run, g, cli.get("diff", ""));
+  if (cli.get_bool("json", false)) {
+    print_json_report(run, g, top_k);
+  } else {
+    print_text_report(run, g, top_k);
+  }
+  return g.well_formed() ? 0 : 1;
+}

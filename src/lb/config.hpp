@@ -90,6 +90,16 @@ struct LbConfig {
   /// Reliable transport wrapped around report/instruction/move traffic.
   TransportConfig transport;
 
+  /// Causal span-context propagation (DESIGN.md §13): piggyback round ids
+  /// on report/instruction trailers and wrap kTagMove payloads with the
+  /// ordering round, so obs/causal.cpp can join each migration to the
+  /// decision that ordered it even under faults. Off by default: the wire
+  /// bytes (and hence timing and trace hashes) stay bit-identical to the
+  /// classic format. The cz.* trace annotations do NOT depend on this flag
+  /// — they are emitted from locally-known state whenever a flight
+  /// recorder is attached.
+  bool causal = false;
+
   /// Failure-detection deadline: if a slave's status report is more than
   /// this late at a collection point, the master declares the rank dead,
   /// evicts it and reassigns its outstanding work to the survivors. Zero

@@ -118,7 +118,7 @@ Task<> Master::run_phase() {
       if (cfg_.lb.check != nullptr) {
         cfg_.lb.check->on_master_instructions(ctx_.now(), r, ins);
       }
-      co_await send_instr(r, ins);
+      co_await send_instr(r, std::move(ins), /*decision_round=*/0);
     }
     if (ft() && ft_sync_pending_) {
       ft_sync_round_ = round_;
@@ -363,6 +363,16 @@ Task<std::vector<StatusReport>> Master::collect_reports(
     }
     const int rank = rank_of(src);
     NOWLB_CHECK(expected[rank], "report from unexpected rank " << rank);
+    if (obs_ != nullptr) {
+      // Receive-side half of the slave->master transport edge, stamped at
+      // true arrival time (a stashed early report is not re-stamped when
+      // the next collection consumes it).
+      obs_->trace.instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "cz",
+                          "cz.report_recv",
+                          {"rank", static_cast<double>(rank)},
+                          {"round", static_cast<double>(rep.round)},
+                          {"ctx", static_cast<double>(rep.ctx_round)});
+    }
     if (rep.round == round + 1) {
       stashed_.emplace_back(src, rep);
       continue;
@@ -485,7 +495,7 @@ Task<> Master::send_instructions(int round, bool phase_done,
     if (cfg_.lb.check != nullptr) {
       cfg_.lb.check->on_master_instructions(ctx_.now(), r, ins);
     }
-    co_await send_instr(r, ins);
+    co_await send_instr(r, std::move(ins), /*decision_round=*/stats_.rounds);
   }
   if (ft() && ft_sync_pending_) {
     ft_sync_round_ = round;
@@ -494,7 +504,19 @@ Task<> Master::send_instructions(int round, bool phase_done,
   }
 }
 
-Task<> Master::send_instr(int rank, const Instructions& ins) {
+Task<> Master::send_instr(int rank, Instructions ins, int decision_round) {
+  if (cfg_.lb.causal) {
+    ins.causal = 1;
+    ins.decision_round = decision_round;
+  }
+  if (obs_ != nullptr) {
+    // Send-side half of the master->slave transport edge; `decision` maps
+    // the wire round onto the ledger round without any wire bytes.
+    obs_->trace.instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "cz",
+                        "cz.instr_send", {"rank", static_cast<double>(rank)},
+                        {"round", static_cast<double>(ins.round)},
+                        {"decision", static_cast<double>(decision_round)});
+  }
   co_await transport_->send(cfg_.slaves[rank], kTagInstr,
                             msg::encode(ins, ins.encoded_size()));
 }

@@ -125,7 +125,10 @@ class Master {
   /// Attach the fault-tolerance trailer (eviction notices, adopt orders).
   void attach_ft(Instructions& ins, int rank);
   /// Reliable (or plain, when the transport is disabled) instruction send.
-  sim::Task<> send_instr(int rank, const Instructions& ins);
+  /// `decision_round` is the decision-ledger round the instructions carry
+  /// (0 = pipelined priming / no decision); it feeds the causal trailer
+  /// and the cz.instr_send trace annotation.
+  sim::Task<> send_instr(int rank, Instructions ins, int decision_round);
   bool ft() const { return cfg_.lb.fault_tolerance(); }
   /// Gate + plan movement for the current remaining distribution, updating
   /// stats and the decision ledger.

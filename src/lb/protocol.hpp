@@ -20,6 +20,15 @@ inline constexpr sim::Tag kTagInstr = 9002;   // master -> slave instructions
 inline constexpr sim::Tag kTagMove = 9003;    // slave -> slave work movement
 inline constexpr sim::Tag kTagAck = 9004;     // transport acknowledgement
 
+// Optional trailers ride behind the classic fixed fields, each introduced
+// by a one-byte marker; decode loops until the payload is exhausted. The
+// fault-tolerance marker value doubles as its legacy presence flag (the ft
+// trailer has always started with the byte 1), so old payloads parse
+// unchanged. With every trailer disabled the wire bytes are bit-identical
+// to the classic format.
+inline constexpr std::uint8_t kTrailerFt = 1;      // fault-tolerance census
+inline constexpr std::uint8_t kTrailerCausal = 2;  // causal round context
+
 /// Slave performance since the last information exchange, measured in the
 /// application-specific unit of "work units per second" — iterations of the
 /// distributed loop — so heterogeneous or loaded processors need no
@@ -51,15 +60,23 @@ struct StatusReport {
   /// survivors' inventories after an eviction (DESIGN.md §9).
   std::vector<std::int32_t> inventory;
 
+  // ---- causal trailer (LbConfig::causal; absent when off) ----
+  /// Trailer present.
+  std::uint8_t causal = 0;
+  /// Wire round of the last Instructions this slave applied before sending
+  /// this report (0 = none yet): the report's causal parent edge.
+  std::int32_t ctx_round = 0;
+
   /// Exact wire size; pass to msg::encode(v, size_hint) on hot paths.
   std::size_t encoded_size() const {
     std::size_t n = sizeof(round) + sizeof(units_done) + sizeof(elapsed_s) +
                     sizeof(remaining) + sizeof(lb_blocked_s) +
                     sizeof(move_time_s) + sizeof(moved_units) + sizeof(done);
     if (ft) {
-      n += sizeof(ft) + sizeof(std::uint64_t) +
+      n += sizeof(kTrailerFt) + sizeof(std::uint64_t) +
            inventory.size() * sizeof(std::int32_t);
     }
+    if (causal) n += sizeof(kTrailerCausal) + sizeof(ctx_round);
     return n;
   }
 
@@ -67,8 +84,12 @@ struct StatusReport {
     w.put(round).put(units_done).put(elapsed_s).put(remaining)
         .put(lb_blocked_s).put(move_time_s).put(moved_units).put(done);
     if (ft) {
-      w.put(ft);
+      w.put(kTrailerFt);
       w.put_vec(inventory);
+    }
+    if (causal) {
+      w.put(kTrailerCausal);
+      w.put(ctx_round);
     }
   }
   static StatusReport decode(msg::Reader& r) {
@@ -81,9 +102,17 @@ struct StatusReport {
     s.move_time_s = r.get<double>();
     s.moved_units = r.get<std::int32_t>();
     s.done = r.get<std::uint8_t>();
-    if (r.remaining() > 0) {
-      s.ft = r.get<std::uint8_t>();
-      s.inventory = r.get_vec<std::int32_t>();
+    while (r.remaining() > 0) {
+      const auto marker = r.get<std::uint8_t>();
+      if (marker == kTrailerFt) {
+        s.ft = 1;
+        s.inventory = r.get_vec<std::int32_t>();
+      } else if (marker == kTrailerCausal) {
+        s.causal = 1;
+        s.ctx_round = r.get<std::int32_t>();
+      } else {
+        NOWLB_CHECK(false, "StatusReport: unknown trailer marker");
+      }
     }
     return s;
   }
@@ -132,15 +161,23 @@ struct Instructions {
   /// Orphaned unit ids this slave must reconstruct and take over.
   std::vector<std::int32_t> adopt;
 
+  // ---- causal trailer (LbConfig::causal; absent when off) ----
+  /// Trailer present.
+  std::uint8_t causal = 0;
+  /// Decision-ledger round whose plan these instructions carry (0 = none:
+  /// pipelined priming or a pure phase_done notification).
+  std::int32_t decision_round = 0;
+
   /// Exact wire size; pass to msg::encode(v, size_hint) on hot paths.
   std::size_t encoded_size() const {
     std::size_t n = sizeof(round) + sizeof(phase_done) +
                     sizeof(units_until_next) + sizeof(std::uint32_t) +
                     orders.size() * MoveOrder::encoded_size();
     if (ft) {
-      n += sizeof(ft) + 2 * sizeof(std::uint64_t) +
+      n += sizeof(kTrailerFt) + 2 * sizeof(std::uint64_t) +
            (evicted.size() + adopt.size()) * sizeof(std::int32_t);
     }
+    if (causal) n += sizeof(kTrailerCausal) + sizeof(decision_round);
     return n;
   }
 
@@ -149,9 +186,13 @@ struct Instructions {
     w.put<std::uint32_t>(static_cast<std::uint32_t>(orders.size()));
     for (const auto& o : orders) o.encode(w);
     if (ft) {
-      w.put(ft);
+      w.put(kTrailerFt);
       w.put_vec(evicted);
       w.put_vec(adopt);
+    }
+    if (causal) {
+      w.put(kTrailerCausal);
+      w.put(decision_round);
     }
   }
   static Instructions decode(msg::Reader& r) {
@@ -163,13 +204,52 @@ struct Instructions {
     ins.orders.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
       ins.orders.push_back(MoveOrder::decode(r));
-    if (r.remaining() > 0) {
-      ins.ft = r.get<std::uint8_t>();
-      ins.evicted = r.get_vec<std::int32_t>();
-      ins.adopt = r.get_vec<std::int32_t>();
+    while (r.remaining() > 0) {
+      const auto marker = r.get<std::uint8_t>();
+      if (marker == kTrailerFt) {
+        ins.ft = 1;
+        ins.evicted = r.get_vec<std::int32_t>();
+        ins.adopt = r.get_vec<std::int32_t>();
+      } else if (marker == kTrailerCausal) {
+        ins.causal = 1;
+        ins.decision_round = r.get<std::int32_t>();
+      } else {
+        NOWLB_CHECK(false, "Instructions: unknown trailer marker");
+      }
     }
     return ins;
   }
 };
+
+/// Causal context prefixed to every kTagMove payload when LbConfig::causal
+/// is on: the wire round whose instructions ordered the transfer and the
+/// sending rank. Lets the analyzer attribute a migration to its decision
+/// even when the message is stashed out-of-band or reordered by faults.
+/// Off the wire entirely (raw application payload) when causal is off.
+struct MoveContext {
+  std::int32_t round = 0;
+  std::int32_t from_rank = -1;
+};
+
+inline sim::Bytes wrap_move(const MoveContext& mc, const sim::Bytes& payload) {
+  msg::Writer w;
+  w.reserve(sizeof(mc.round) + sizeof(mc.from_rank) + sizeof(std::uint64_t) +
+            payload.size());
+  w.put(mc.round).put(mc.from_rank).put_bytes(payload);
+  return w.take();
+}
+
+/// Inverse of wrap_move: returns the context and replaces `payload` with
+/// the inner application payload.
+inline MoveContext unwrap_move(sim::Bytes& payload) {
+  msg::Reader r(payload);
+  MoveContext mc;
+  mc.round = r.get<std::int32_t>();
+  mc.from_rank = r.get<std::int32_t>();
+  sim::Bytes inner = r.get_bytes();
+  NOWLB_CHECK(r.done(), "kTagMove causal envelope: trailing bytes");
+  payload = std::move(inner);
+  return mc;
+}
 
 }  // namespace nowlb::lb

@@ -54,7 +54,6 @@ Task<> SlaveAgent::send_report() {
   rep.elapsed_s = to_seconds(
       std::max<Time>(0, t0 - window_start_ - app_blocked_accum_));
   const Time window_blocked = app_blocked_accum_;
-  (void)window_blocked;
   app_blocked_accum_ = 0;
   // Count queued incoming transfers (at their ordered size) so in-flight
   // units are never under-counted: the reported total can only overstate,
@@ -70,6 +69,10 @@ Task<> SlaveAgent::send_report() {
     rep.ft = 1;
     rep.inventory = ops_.inventory();
   }
+  if (lb_.causal) {
+    rep.causal = 1;
+    rep.ctx_round = last_applied_round_;
+  }
   move_time_accum_ = 0;
   moved_units_accum_ = 0;
   NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " report r" << round_
@@ -82,6 +85,13 @@ Task<> SlaveAgent::send_report() {
                     "slave.report", {"rank", static_cast<double>(rank_)},
                     {"round", static_cast<double>(round_)},
                     {"remaining", static_cast<double>(rep.remaining)});
+    // The measurement window this report closes: compute time is the span
+    // minus the blocked share. Emitted from locally-known state, so it
+    // needs no wire change and holds under the bit-identical goldens.
+    trace_->complete(window_start_, t0, ctx_.host_id(), ctx_.pid(), "cz",
+                     "cz.window", {"rank", static_cast<double>(rank_)},
+                     {"round", static_cast<double>(round_)},
+                     {"blocked", to_seconds(window_blocked)});
   }
   if (lb_.check != nullptr) {
     lb_.check->on_slave_report(ctx_.now(), rank_, rep);
@@ -112,6 +122,8 @@ Task<> SlaveAgent::handle_instr(const Instructions& ins) {
 }
 
 Task<> SlaveAgent::apply_instr_body(const Instructions& ins) {
+  applying_round_ = ins.round;
+  last_applied_round_ = ins.round;
   if (trace_ != nullptr) {
     trace_->instant(ctx_.now(), ctx_.host_id(), ctx_.pid(), "lb",
                     "slave.instr", {"rank", static_cast<double>(rank_)},
@@ -147,8 +159,8 @@ Task<> SlaveAgent::handle_ft(const Instructions& ins) {
     // Drop in-flight moves involving the dead peer: ordered receives will
     // never arrive, and a stale message from it must not be integrated
     // (the master reassigns those units from the census).
-    std::erase_if(pending_recvs_, [&](const MoveOrder& o) {
-      return o.peer_rank == dead_rank;
+    std::erase_if(pending_recvs_, [&](const PendingRecv& p) {
+      return p.order.peer_rank == dead_rank;
     });
     std::erase_if(stashed_moves_,
                   [&](const sim::Message& m) { return m.src == dead; });
@@ -250,7 +262,7 @@ Task<> SlaveAgent::drain() {
   // overhead or computation — excluded from both measurements.
   const Time w0 = ctx_.now();
   Instructions ins = co_await recv_instr();
-  app_blocked_accum_ += ctx_.now() - w0;
+  note_blocked_span(w0);
   co_await handle_instr(ins);
 }
 
@@ -274,8 +286,27 @@ Task<> SlaveAgent::finalize() {
   co_await transport_->drain();
 }
 
-Task<> SlaveAgent::integrate_move(const MoveOrder& order, sim::Message m) {
+void SlaveAgent::note_blocked_span(sim::Time w0) {
+  const Time now = ctx_.now();
+  app_blocked_accum_ += now - w0;
+  if (trace_ != nullptr && now > w0) {
+    trace_->complete(w0, now, ctx_.host_id(), ctx_.pid(), "cz", "cz.blocked",
+                     {"rank", static_cast<double>(rank_)},
+                     {"round", static_cast<double>(round_)});
+  }
+}
+
+Task<> SlaveAgent::integrate_move(const MoveOrder& order, std::int32_t round,
+                                  sim::Message m) {
   const Time t0 = ctx_.now();
+  if (lb_.causal) {
+    // Strip the causal envelope; the wire-carried round is authoritative
+    // (it survives reordering and out-of-band stashing).
+    const MoveContext mc = unwrap_move(m.payload);
+    NOWLB_CHECK(pid_of(mc.from_rank) == m.src,
+                "kTagMove envelope rank does not match sender");
+    round = mc.round;
+  }
   co_await ctx_.compute(ctx_.world().config().msg.recv_overhead);
   const int actual = co_await ops_.unpack(m.payload, order.peer_rank);
   if (lb_.check != nullptr) {
@@ -290,6 +321,10 @@ Task<> SlaveAgent::integrate_move(const MoveOrder& order, sim::Message m) {
                     "slave.move_recv",
                     {"from", static_cast<double>(order.peer_rank)},
                     {"units", static_cast<double>(actual)});
+    trace_->complete(t0, ctx_.now(), ctx_.host_id(), ctx_.pid(), "cz",
+                     "cz.move_recv", {"rank", static_cast<double>(rank_)},
+                     {"from", static_cast<double>(order.peer_rank)},
+                     {"round", static_cast<double>(round)});
   }
   NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " received " << actual
                          << " units from rank " << order.peer_rank;
@@ -309,7 +344,8 @@ std::optional<sim::Message> SlaveAgent::take_stashed(sim::Pid src) {
 
 bool SlaveAgent::first_for_peer(std::size_t index) const {
   for (std::size_t j = 0; j < index; ++j) {
-    if (pending_recvs_[j].peer_rank == pending_recvs_[index].peer_rank) {
+    if (pending_recvs_[j].order.peer_rank ==
+        pending_recvs_[index].order.peer_rank) {
       return false;
     }
   }
@@ -319,11 +355,12 @@ bool SlaveAgent::first_for_peer(std::size_t index) const {
 Task<> SlaveAgent::accept_move(sim::Message m) {
   NOWLB_CHECK(m.tag == kTagMove, "accept_move on tag " << m.tag);
   for (std::size_t i = 0; i < pending_recvs_.size(); ++i) {
-    if (pid_of(pending_recvs_[i].peer_rank) == m.src && first_for_peer(i)) {
-      const MoveOrder o = pending_recvs_[i];
+    if (pid_of(pending_recvs_[i].order.peer_rank) == m.src &&
+        first_for_peer(i)) {
+      const PendingRecv p = pending_recvs_[i];
       pending_recvs_.erase(pending_recvs_.begin() +
                            static_cast<std::ptrdiff_t>(i));
-      co_await integrate_move(o, std::move(m));
+      co_await integrate_move(p.order, p.round, std::move(m));
       co_return;
     }
   }
@@ -369,10 +406,11 @@ Task<> SlaveAgent::recv_one_pending() {
     // waiting for *us*), give up and let drain() fall through to a report
     // so the master can tell a blocked-but-live rank from a crashed one.
     const std::size_t before = pending_recvs_.size();
-    if (auto stashed = take_stashed(pid_of(pending_recvs_.front().peer_rank))) {
-      const MoveOrder o = pending_recvs_.front();
+    if (auto stashed =
+            take_stashed(pid_of(pending_recvs_.front().order.peer_rank))) {
+      const PendingRecv p = pending_recvs_.front();
       pending_recvs_.erase(pending_recvs_.begin());
-      co_await integrate_move(o, std::move(*stashed));
+      co_await integrate_move(p.order, p.round, std::move(*stashed));
       co_return;
     }
     const Time deadline = ctx_.now() + lb_.heartbeat_timeout / 4;
@@ -384,7 +422,7 @@ Task<> SlaveAgent::recv_one_pending() {
       // collection, is in turn waiting for our final report).
       std::optional<sim::Message> m =
           co_await ctx_.recv_until(sim::kAnyTag, sim::kAnyPid, deadline);
-      app_blocked_accum_ += ctx_.now() - w0;
+      note_blocked_span(w0);
       if (!m) co_return;  // timed out; drain() falls through to a report
       if (m->tag == kTagInstr && !awaiting_instr_) {
         Instructions ins = msg::decode<Instructions>(m->payload);
@@ -402,19 +440,19 @@ Task<> SlaveAgent::recv_one_pending() {
     }
     co_return;
   }
-  const MoveOrder o = pending_recvs_.front();
+  const PendingRecv p = pending_recvs_.front();
   pending_recvs_.erase(pending_recvs_.begin());
-  if (auto stashed = take_stashed(pid_of(o.peer_rank))) {
-    co_await integrate_move(o, std::move(*stashed));
+  if (auto stashed = take_stashed(pid_of(p.order.peer_rank))) {
+    co_await integrate_move(p.order, p.round, std::move(*stashed));
     co_return;
   }
   // recv_raw completes at message arrival; the wait until then is round
   // skew / sender lag — neither movement cost nor compute time, so it is
   // excluded from both the move-cost measurement and the rate window.
   const Time w0 = ctx_.now();
-  sim::Message m = co_await ctx_.recv_raw(kTagMove, pid_of(o.peer_rank));
-  app_blocked_accum_ += ctx_.now() - w0;
-  co_await integrate_move(o, std::move(m));
+  sim::Message m = co_await ctx_.recv_raw(kTagMove, pid_of(p.order.peer_rank));
+  note_blocked_span(w0);
+  co_await integrate_move(p.order, p.round, std::move(m));
 }
 
 Task<> SlaveAgent::drain_pending() {
@@ -431,16 +469,16 @@ Task<> SlaveAgent::poll_pending() {
       ++i;
       continue;
     }
-    const MoveOrder o = pending_recvs_[i];
-    auto m = take_stashed(pid_of(o.peer_rank));
-    if (!m) m = ctx_.try_recv(kTagMove, pid_of(o.peer_rank));
+    const PendingRecv p = pending_recvs_[i];
+    auto m = take_stashed(pid_of(p.order.peer_rank));
+    if (!m) m = ctx_.try_recv(kTagMove, pid_of(p.order.peer_rank));
     if (!m) {
       ++i;
       continue;
     }
     pending_recvs_.erase(pending_recvs_.begin() +
                          static_cast<std::ptrdiff_t>(i));
-    co_await integrate_move(o, std::move(*m));
+    co_await integrate_move(p.order, p.round, std::move(*m));
     // Restart the scan: the erase may have made another order for the
     // same peer the first one.
     i = 0;
@@ -453,7 +491,7 @@ Task<> SlaveAgent::apply_moves(const std::vector<MoveOrder>& orders) {
     if (o.is_send) {
       send_total += o.count;
     } else {
-      pending_recvs_.push_back(o);
+      pending_recvs_.push_back({o, applying_round_});
     }
   }
   if (send_total > 0) {
@@ -483,9 +521,20 @@ Task<> SlaveAgent::apply_moves(const std::vector<MoveOrder>& orders) {
       }
       NOWLB_LOG(Debug, "lb") << "rank " << rank_ << " sends " << actual
                              << " units to rank " << o.peer_rank;
+      // Under causal propagation, wrap the payload with the ordering round
+      // so the receiver attributes the migration even after reordering.
+      sim::Bytes out = lb_.causal
+                           ? wrap_move({applying_round_, rank_}, payload)
+                           : std::move(payload);
       co_await transport_->send(pid_of(o.peer_rank), kTagMove,
-                                std::move(payload));
+                                std::move(out));
       move_time_accum_ += ctx_.now() - t0;
+      if (trace_ != nullptr) {
+        trace_->complete(t0, ctx_.now(), ctx_.host_id(), ctx_.pid(), "cz",
+                         "cz.move_send", {"rank", static_cast<double>(rank_)},
+                         {"to", static_cast<double>(o.peer_rank)},
+                         {"round", static_cast<double>(applying_round_)});
+      }
     }
   }
   // Pick up whatever incoming transfers have already arrived.

@@ -111,6 +111,13 @@ class SlaveAgent {
   int units_received() const { return units_received_; }
 
  private:
+  /// One ordered incoming transfer, tagged with the wire round of the
+  /// instructions that ordered it (causal attribution of the migration).
+  struct PendingRecv {
+    MoveOrder order;
+    std::int32_t round = 0;
+  };
+
   bool balance_due() const { return units_since_ >= until_next_; }
   sim::Task<> send_report();
   sim::Task<> handle_instr(const Instructions& ins);
@@ -121,13 +128,19 @@ class SlaveAgent {
   sim::Task<> handle_ft(const Instructions& ins);
   /// Execute the send half of the orders; queue the receive half.
   sim::Task<> apply_moves(const std::vector<MoveOrder>& orders);
-  /// Charge overhead, unpack, and account one arrived transfer.
-  sim::Task<> integrate_move(const MoveOrder& order, sim::Message m);
+  /// Charge overhead, unpack, and account one arrived transfer. `round` is
+  /// the wire round whose instructions ordered it (cz.move_recv span).
+  sim::Task<> integrate_move(const MoveOrder& order, std::int32_t round,
+                             sim::Message m);
   /// Pop a stashed out-of-band move from `src`, if any.
   std::optional<sim::Message> take_stashed(sim::Pid src);
   /// True if `order` is the first queued receive for its peer (per-peer
   /// FIFO: earlier messages match earlier orders).
   bool first_for_peer(std::size_t index) const;
+  /// Account a runtime wait that started at `w0` and ended now: add it to
+  /// the blocked accumulator and emit the cz.blocked span (blocked-wait
+  /// attribution in the causal DAG).
+  void note_blocked_span(sim::Time w0);
   /// Blocking receive of one queued incoming transfer.
   sim::Task<> recv_one_pending();
   /// Next instruction message: a held early phase_done if one exists (see
@@ -140,7 +153,7 @@ class SlaveAgent {
   /// Ordered (upper-bound) unit count of queued incoming transfers.
   int pending_units() const {
     int n = 0;
-    for (const auto& o : pending_recvs_) n += o.count;
+    for (const auto& p : pending_recvs_) n += p.order.count;
     return n;
   }
   sim::Pid pid_of(int rank) const { return slave_pids_.at(rank); }
@@ -160,7 +173,7 @@ class SlaveAgent {
   /// opportunistic (polled at hooks) so computation overlaps with work
   /// movement; all entries are force-drained before the next report so
   /// reported `remaining` counts every unit exactly once.
-  std::vector<MoveOrder> pending_recvs_;
+  std::vector<PendingRecv> pending_recvs_;
   /// Out-of-band move messages accepted before their order was known.
   std::vector<sim::Message> stashed_moves_;
   /// A phase_done picked up by the fault-tolerant wildcard receive before
@@ -170,6 +183,12 @@ class SlaveAgent {
   /// picked up and applied before its matching report went out; that
   /// report then completes the round with nothing left to wait for.
   int prepaid_round_ = 0;
+  /// Wire round of the instructions currently being applied (tags move
+  /// orders and cz.move_* spans with their ordering round).
+  std::int32_t applying_round_ = 0;
+  /// Wire round of the last applied instructions: the next report's
+  /// causal-trailer parent (StatusReport::ctx_round).
+  std::int32_t last_applied_round_ = 0;
   double units_since_ = 0;
   double until_next_;
   sim::Time window_start_ = 0;

@@ -1,0 +1,94 @@
+#include "obs/attach.hpp"
+
+#include <memory>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "sim/sink.hpp"
+#include "sim/world.hpp"
+
+namespace nowlb::obs {
+
+namespace {
+
+/// Forwards sim-side observation into the hub. Counters are resolved once
+/// at attach time (the registry keeps them stable for its lifetime), same
+/// as the network's old cached-pointer scheme.
+class WorldSink final : public sim::TraceSink {
+ public:
+  explicit WorldSink(Observability& hub)
+      : hub_(hub),
+        m_sent_(&hub.metrics.counter("sim_messages_sent",
+                                     "Messages posted to the network")),
+        m_bytes_(&hub.metrics.counter("sim_payload_bytes",
+                                      "Payload bytes posted to the network")),
+        m_dropped_(&hub.metrics.counter(
+            "sim_messages_dropped",
+            "Messages lost in flight (fault injection)")),
+        m_duplicated_(&hub.metrics.counter(
+            "sim_messages_duplicated",
+            "Extra copies delivered by duplication faults")) {}
+
+  void instant(sim::Time t, int host, int lane, const char* cat,
+               const char* name, Arg a0, Arg a1, Arg a2) override {
+    hub_.trace.instant(t, host, lane, cat, name, {a0.key, a0.value},
+                       {a1.key, a1.value}, {a2.key, a2.value});
+  }
+
+  void complete(sim::Time begin, sim::Time end, int host, int lane,
+                const char* cat, const char* name, Arg a0, Arg a1,
+                Arg a2) override {
+    hub_.trace.complete(begin, end, host, lane, cat, name, {a0.key, a0.value},
+                        {a1.key, a1.value}, {a2.key, a2.value});
+  }
+
+  void name_host(int host, const std::string& name) override {
+    hub_.trace.name_host(host, name);
+  }
+
+  void name_lane(int host, int lane, const std::string& name) override {
+    hub_.trace.name_lane(host, lane, name);
+  }
+
+  void net_count(NetCounter c, std::uint64_t delta) override {
+    switch (c) {
+      case NetCounter::kMessagesSent:
+        m_sent_->inc(delta);
+        break;
+      case NetCounter::kPayloadBytes:
+        m_bytes_->inc(delta);
+        break;
+      case NetCounter::kMessagesDropped:
+        m_dropped_->inc(delta);
+        break;
+      case NetCounter::kMessagesDuplicated:
+        m_duplicated_->inc(delta);
+        break;
+    }
+  }
+
+  void run_stats(double virtual_time_s,
+                 std::uint64_t dispatched_events) override {
+    hub_.metrics
+        .gauge("sim_virtual_time_seconds", "Virtual clock at end of run")
+        .set(virtual_time_s);
+    hub_.metrics.gauge("sim_events_dispatched", "Engine events dispatched")
+        .set(static_cast<double>(dispatched_events));
+  }
+
+ private:
+  Observability& hub_;
+  Counter* m_sent_;
+  Counter* m_bytes_;
+  Counter* m_dropped_;
+  Counter* m_duplicated_;
+};
+
+}  // namespace
+
+void attach(sim::World& w, Observability* hub) {
+  w.set_obs_handle(hub);
+  w.set_sink(hub ? std::make_unique<WorldSink>(*hub) : nullptr);
+}
+
+}  // namespace nowlb::obs

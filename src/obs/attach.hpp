@@ -1,0 +1,24 @@
+// obs::attach — wire a flight-recorder hub to a simulation world.
+//
+// The sim layer never includes obs headers; it records through the
+// abstract sim::TraceSink (sim/sink.hpp). This is the bridge: attach()
+// installs a sink that forwards sim events into the hub's TraceBus and
+// MetricsRegistry, and stores the hub as the world's opaque handle so the
+// protocol layers (master/slave/transport) can keep reading it via
+// World::obs().
+#pragma once
+
+namespace nowlb::sim {
+class World;
+}  // namespace nowlb::sim
+
+namespace nowlb::obs {
+
+struct Observability;
+
+/// Attach `hub` to `w` (null detaches). Replaces any previous attachment.
+/// The hub is not owned and must outlive the run. Pure observation: the
+/// event schedule and trace_hash() are bit-identical either way.
+void attach(sim::World& w, Observability* hub);
+
+}  // namespace nowlb::obs

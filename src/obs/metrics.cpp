@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -51,6 +52,34 @@ std::string fmt_double(double v) {
 }
 
 }  // namespace
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th observation (1-based, ceil — the Prometheus
+  // convention), then walk the buckets to the one holding it.
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += counts_[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i >= bounds_.size()) {
+      // +Inf bucket: no upper bound to interpolate toward; clamp to the
+      // highest finite bound (or fall back to mean for a bound-less
+      // histogram).
+      return bounds_.empty() ? sum_ / static_cast<double>(count_)
+                             : bounds_.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const auto in_bucket = static_cast<double>(counts_[i]);
+    if (in_bucket <= 0) return hi;
+    const double frac = (rank - static_cast<double>(prev)) / in_bucket;
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
 
 MetricsRegistry::Entry& MetricsRegistry::get(const std::string& name,
                                              Kind kind,
@@ -142,6 +171,13 @@ std::string MetricsRegistry::prometheus_text() const {
         os << name << "_bucket{le=\"+Inf\"} " << cum << '\n';
         os << name << "_sum " << fmt_double(h.sum()) << '\n';
         os << name << "_count " << h.count() << '\n';
+        // Interpolated quantile estimates (histogram_quantile computed at
+        // dump time, saving the PromQL round trip in offline analysis).
+        if (h.count() > 0) {
+          os << name << "_p50 " << fmt_double(h.quantile(0.50)) << '\n';
+          os << name << "_p90 " << fmt_double(h.quantile(0.90)) << '\n';
+          os << name << "_p99 " << fmt_double(h.quantile(0.99)) << '\n';
+        }
         break;
       }
     }
@@ -172,7 +208,10 @@ std::string MetricsRegistry::json_snapshot() const {
         }
         h << "],\"inf\":" << hist.bucket_counts().back()
           << ",\"sum\":" << fmt_double(hist.sum())
-          << ",\"count\":" << hist.count() << "}";
+          << ",\"count\":" << hist.count()
+          << ",\"p50\":" << fmt_double(hist.quantile(0.50))
+          << ",\"p90\":" << fmt_double(hist.quantile(0.90))
+          << ",\"p99\":" << fmt_double(hist.quantile(0.99)) << "}";
         fh = false;
         break;
       }

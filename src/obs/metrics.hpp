@@ -58,6 +58,13 @@ class Histogram {
   double sum() const { return sum_; }
   std::uint64_t count() const { return count_; }
 
+  /// Interpolated quantile estimate, Prometheus histogram_quantile
+  /// semantics: find the bucket the q-th observation falls in and
+  /// interpolate linearly inside it (from the bucket's lower bound). An
+  /// estimate landing in the +Inf bucket clamps to the highest finite
+  /// bound. Returns 0 on an empty histogram; `q` is clamped to [0, 1].
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;

@@ -1,7 +1,7 @@
 // The observability hub: one object bundling the three flight-recorder
 // parts — trace bus, metrics registry, decision ledger.
 //
-// Attach a hub to a World (World::set_obs) and every instrumented layer
+// Attach a hub to a World (obs::attach) and every instrumented layer
 // below it (engine dispatch, network, transport, master/slave protocol)
 // records into it. Attachment is always optional: a null hub costs one
 // pointer test per emit site, and an attached hub never perturbs the

@@ -1,0 +1,229 @@
+#include "obs/runfile.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace nowlb::obs {
+
+namespace {
+
+bool kept_category(const char* cat) {
+  return std::strcmp(cat, "cz") == 0 || std::strcmp(cat, "lb") == 0 ||
+         std::strcmp(cat, "proc") == 0;
+}
+
+void put_double(std::ostream& os, double v) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+long decision_units(const DecisionRecord& r) {
+  long units = 0;
+  for (const Move& m : r.moves) units += m.count;
+  return units;
+}
+
+/// Interns strings for the lifetime of a LoadedRun (TraceBus stores
+/// pointers, not copies).
+class Interner {
+ public:
+  explicit Interner(std::deque<std::string>& pool) : pool_(pool) {}
+
+  const char* operator()(const std::string& s) {
+    auto it = known_.find(s);
+    if (it != known_.end()) return it->second;
+    pool_.push_back(s);
+    const char* p = pool_.back().c_str();
+    known_.emplace(s, p);
+    return p;
+  }
+
+ private:
+  std::deque<std::string>& pool_;
+  std::map<std::string, const char*> known_;
+};
+
+bool fail(std::string& error, int line_no, const std::string& what) {
+  std::ostringstream os;
+  os << "run file line " << line_no << ": " << what;
+  error = os.str();
+  return false;
+}
+
+}  // namespace
+
+void write_runfile(std::ostream& os, const TraceBus& trace,
+                   const DecisionLedger& ledger,
+                   const std::map<std::string, std::string>& meta) {
+  os << "nowlb-run 1\n";
+  for (const auto& [key, value] : meta) {
+    os << "meta " << key << "=" << value << "\n";
+  }
+  for (const auto& [host, name] : trace.hosts()) {
+    os << "host " << host << " " << name << "\n";
+  }
+  for (const auto& [key, name] : trace.lanes()) {
+    os << "lane " << key.first << " " << key.second << " " << name << "\n";
+  }
+  for (const DecisionRecord& r : ledger.records()) {
+    os << "ledger " << r.round << " " << r.t << " "
+       << static_cast<int>(r.gate) << " " << decision_units(r) << " ";
+    put_double(os, r.improvement);
+    os << " ";
+    put_double(os, r.period_s);
+    os << " " << r.reason << "\n";
+  }
+  std::size_t written = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (!kept_category(e.cat)) continue;
+    os << "e " << (e.phase == TraceEvent::Phase::kComplete ? 'c' : 'i')
+       << " " << e.t << " " << e.dur << " " << e.host << " " << e.lane
+       << " " << e.cat << " " << e.name;
+    for (const TraceArg* a : {&e.a0, &e.a1, &e.a2}) {
+      if (a->key == nullptr) continue;
+      os << " " << a->key << "=";
+      put_double(os, a->value);
+    }
+    os << "\n";
+    ++written;
+  }
+  os << "end events=" << written << " ledger=" << ledger.records().size()
+     << "\n";
+}
+
+bool load_runfile(std::istream& is, LoadedRun& out, std::string& error) {
+  Interner intern(out.pool);
+  std::string line;
+  int line_no = 0;
+
+  if (!std::getline(is, line)) return fail(error, 1, "empty input");
+  ++line_no;
+  if (line != "nowlb-run 1") {
+    return fail(error, line_no, "bad header (want \"nowlb-run 1\")");
+  }
+
+  std::size_t events = 0;
+  std::size_t ledger_lines = 0;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (saw_end) return fail(error, line_no, "content after end trailer");
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    if (directive == "meta") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      const std::size_t eq = rest.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail(error, line_no, "meta needs key=value");
+      }
+      out.meta[rest.substr(0, eq)] = rest.substr(eq + 1);
+    } else if (directive == "host") {
+      int host = 0;
+      std::string name;
+      if (!(ls >> host >> name)) {
+        return fail(error, line_no, "malformed host line");
+      }
+      out.trace.name_host(host, name);
+    } else if (directive == "lane") {
+      int host = 0;
+      int lane = 0;
+      std::string name;
+      if (!(ls >> host >> lane >> name)) {
+        return fail(error, line_no, "malformed lane line");
+      }
+      out.trace.name_lane(host, lane, name);
+    } else if (directive == "ledger") {
+      DecisionRecord r;
+      long long t = 0;
+      int gate = 0;
+      long units = 0;
+      if (!(ls >> r.round >> t >> gate >> units >> r.improvement >>
+            r.period_s)) {
+        return fail(error, line_no, "malformed ledger line");
+      }
+      if (gate < 0 || gate > static_cast<int>(Gate::kFinalReports)) {
+        return fail(error, line_no, "ledger gate out of range");
+      }
+      r.t = t;
+      r.gate = static_cast<Gate>(gate);
+      std::getline(ls, r.reason);
+      if (!r.reason.empty() && r.reason.front() == ' ') r.reason.erase(0, 1);
+      // Moves are serialized as their unit sum — enough for the analyzer's
+      // per-round attribution, without the per-transfer detail.
+      if (units > 0) r.moves.push_back({-1, -1, units});
+      out.ledger.append(std::move(r));
+      ++ledger_lines;
+    } else if (directive == "e") {
+      char phase = 0;
+      long long t = 0;
+      long long dur = 0;
+      int host = 0;
+      int lane = 0;
+      std::string cat;
+      std::string name;
+      if (!(ls >> phase >> t >> dur >> host >> lane >> cat >> name) ||
+          (phase != 'i' && phase != 'c')) {
+        return fail(error, line_no, "malformed event line");
+      }
+      TraceArg args[3];
+      int nargs = 0;
+      std::string kv;
+      while (ls >> kv) {
+        if (nargs >= 3) return fail(error, line_no, "more than 3 args");
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          return fail(error, line_no, "event arg needs key=value");
+        }
+        double value = 0;
+        std::istringstream vs(kv.substr(eq + 1));
+        if (!(vs >> value) || !vs.eof()) {
+          return fail(error, line_no, "bad numeric arg value");
+        }
+        args[nargs++] = {intern(kv.substr(0, eq)), value};
+      }
+      const char* c = intern(cat);
+      const char* n = intern(name);
+      if (phase == 'c') {
+        out.trace.complete(t, t + dur, host, lane, c, n, args[0], args[1],
+                           args[2]);
+      } else {
+        out.trace.instant(t, host, lane, c, n, args[0], args[1], args[2]);
+      }
+      ++events;
+    } else if (directive == "end") {
+      std::string ev;
+      std::string led;
+      if (!(ls >> ev >> led)) {
+        return fail(error, line_no, "malformed end trailer");
+      }
+      std::size_t want_ev = 0;
+      std::size_t want_led = 0;
+      if (std::sscanf(ev.c_str(), "events=%zu", &want_ev) != 1 ||
+          std::sscanf(led.c_str(), "ledger=%zu", &want_led) != 1) {
+        return fail(error, line_no, "malformed end trailer");
+      }
+      if (want_ev != events || want_led != ledger_lines) {
+        std::ostringstream os;
+        os << "count mismatch (file truncated?): have " << events
+           << " events / " << ledger_lines << " ledger lines, trailer says "
+           << want_ev << " / " << want_led;
+        return fail(error, line_no, os.str());
+      }
+      saw_end = true;
+    } else {
+      return fail(error, line_no, "unknown directive \"" + directive + "\"");
+    }
+  }
+  if (!saw_end) return fail(error, line_no, "missing end trailer");
+  return true;
+}
+
+}  // namespace nowlb::obs

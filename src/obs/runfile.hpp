@@ -1,0 +1,54 @@
+// Run files: a versioned, line-based text capture of one run's flight
+// recorder — the causal trace categories (cz/lb/proc) plus the decision
+// ledger — so `nowlb-inspect` can analyze and diff runs after the fact.
+//
+// Format (one directive per line, space-separated fields):
+//
+//   nowlb-run 1
+//   meta <key>=<value>
+//   host <id> <name>
+//   lane <host> <lane> <name>
+//   ledger <round> <t> <gate> <units> <improvement> <period_s> <reason...>
+//   e <i|c> <t> <dur> <host> <lane> <cat> <name> [<key>=<value>]...
+//   end events=<N> ledger=<M>
+//
+// Times are simulated nanoseconds (integers); numeric values round-trip
+// at full double precision. The trailer's counts make truncation
+// detectable. Loading is strict: an unknown directive, a malformed field
+// or a count mismatch fails the load with a diagnostic — `nowlb-inspect`
+// turns that into a nonzero exit.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/ledger.hpp"
+#include "obs/trace.hpp"
+
+namespace nowlb::obs {
+
+/// A run loaded back from a run file. The trace stores `const char*`
+/// category/name/key pointers; `pool` owns the interned strings and is
+/// declared first so it outlives the bus.
+struct LoadedRun {
+  std::deque<std::string> pool;
+  std::map<std::string, std::string> meta;
+  TraceBus trace;
+  DecisionLedger ledger;
+};
+
+/// Serialize the inspection-relevant slice of a run: trace events in the
+/// cz/lb/proc categories (message-level noise is omitted), host/lane
+/// names, and the full decision ledger.
+void write_runfile(std::ostream& os, const TraceBus& trace,
+                   const DecisionLedger& ledger,
+                   const std::map<std::string, std::string>& meta);
+
+/// Parse a run file. Returns false and sets `error` (with a line number)
+/// on any malformation; `out` is partially filled in that case and must
+/// not be used.
+bool load_runfile(std::istream& is, LoadedRun& out, std::string& error);
+
+}  // namespace nowlb::obs

@@ -15,7 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "apps/mm.hpp"
 #include "data/dist_array.hpp"
+#include "exp/harness.hpp"
 #include "lb/protocol.hpp"
 #include "lb/transport.hpp"
 #include "msg/serialize.hpp"
@@ -204,6 +206,60 @@ double slice_pack_unpack(const BenchOptions&,
   return iters * (kSlices / 2) / dt;
 }
 
+// ---- observability overhead ----
+
+/// Flight-recorder tax: one reduced MM run plain, then the identical run
+/// with a hub attached and causal propagation on (the maximal
+/// instrumentation a user can switch on). The sample is the wall-time
+/// ratio instrumented/plain — bench_compare gates it, so observability
+/// can never silently slow the simulator down.
+double obs_overhead(const BenchOptions&,
+                    std::map<std::string, double>& extra) {
+  auto run_once = [](obs::Observability* hub) {
+    exp::ExperimentConfig cfg;
+    cfg.slaves = 4;
+    cfg.world = exp::paper_world();
+    cfg.lb = exp::paper_lb();
+    if (hub != nullptr) {
+      cfg.obs = hub;
+      cfg.lb.causal = true;
+    }
+    apps::MmConfig mm;
+    mm.n = 200;
+    const double t0 = wall_seconds();
+    const exp::Measurement m = exp::run_mm(mm, cfg);
+    return std::make_pair(wall_seconds() - t0, m.dispatched_events);
+  };
+  // A single reduced run is sub-millisecond; amortize the ratio over
+  // several pairs so one scheduler hiccup can't swing the sample.
+  constexpr int kPairs = 8;
+  obs::Observability hub;
+  double plain_dt = 0;
+  double obs_dt = 0;
+  std::uint64_t plain_events = 0;
+  std::uint64_t obs_events = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    hub.clear();
+    const auto [pd, pe] = run_once(nullptr);
+    const auto [od, oe] = run_once(&hub);
+    plain_dt += pd;
+    obs_dt += od;
+    plain_events = pe;
+    obs_events = oe;
+  }
+  extra["plain_s"] = plain_dt;
+  extra["with_obs_s"] = obs_dt;
+  extra["trace_events"] = static_cast<double>(hub.trace.events().size());
+  extra["ledger_records"] =
+      static_cast<double>(hub.ledger.records().size());
+  // Attachment must be pure observation: identical event counts whether
+  // or not the hub is on (the determinism tests pin the hashes; this
+  // keeps the evidence in the bench report too).
+  extra["events_delta"] =
+      static_cast<double>(obs_events) - static_cast<double>(plain_events);
+  return obs_dt / plain_dt;
+}
+
 }  // namespace
 
 Suite default_suite() {
@@ -222,6 +278,7 @@ Suite default_suite() {
          protocol_roundtrip});
   s.add({"data.slice_pack_unpack", "micro", "slices/s", true,
          slice_pack_unpack});
+  s.add({"obs.overhead", "micro", "x", false, obs_overhead});
 
   for (const FigureScenario& fig : figure_scenarios()) {
     s.add({fig.name, "figure", "s", false,

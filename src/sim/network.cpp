@@ -3,28 +3,9 @@
 #include <algorithm>
 #include <utility>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "sim/process.hpp"
 
 namespace nowlb::sim {
-
-void Network::set_obs(obs::TraceBus* trace, obs::MetricsRegistry* metrics) {
-  trace_ = trace;
-  if (metrics) {
-    m_sent_ = &metrics->counter("sim_messages_sent",
-                                "Messages posted to the network");
-    m_bytes_ = &metrics->counter("sim_payload_bytes",
-                                 "Payload bytes posted to the network");
-    m_dropped_ = &metrics->counter(
-        "sim_messages_dropped", "Messages lost in flight (fault injection)");
-    m_duplicated_ = &metrics->counter(
-        "sim_messages_duplicated",
-        "Extra copies delivered by duplication faults");
-  } else {
-    m_sent_ = m_bytes_ = m_dropped_ = m_duplicated_ = nullptr;
-  }
-}
 
 bool Network::fault_eligible(const Message& m, int src_host,
                              int dst_host) const {
@@ -36,15 +17,13 @@ bool Network::fault_eligible(const Message& m, int src_host,
 void Network::post(Message m, int src_host, Process& dst, int dst_host) {
   ++messages_;
   bytes_ += m.payload.size();
-  if (m_sent_) {
-    m_sent_->inc();
-    m_bytes_->inc(m.payload.size());
-  }
-  if (trace_) {
-    trace_->instant(eng_.now(), src_host, m.src, "msg", "msg.send",
-                    {"tag", static_cast<double>(m.tag)},
-                    {"dst", static_cast<double>(m.dst)},
-                    {"bytes", static_cast<double>(m.payload.size())});
+  if (sink_) {
+    sink_->net_count(TraceSink::NetCounter::kMessagesSent, 1);
+    sink_->net_count(TraceSink::NetCounter::kPayloadBytes, m.payload.size());
+    sink_->instant(eng_.now(), src_host, m.src, "msg", "msg.send",
+                   {"tag", static_cast<double>(m.tag)},
+                   {"dst", static_cast<double>(m.dst)},
+                   {"bytes", static_cast<double>(m.payload.size())});
   }
 
   Time arrival;
@@ -75,11 +54,11 @@ void Network::post(Message m, int src_host, Process& dst, int dst_host) {
     }
     if (drop) {
       ++dropped_;
-      if (m_dropped_) m_dropped_->inc();
-      if (trace_) {
-        trace_->instant(arrival, dst_host, m.dst, "msg", "msg.drop",
-                        {"tag", static_cast<double>(m.tag)},
-                        {"src", static_cast<double>(m.src)});
+      if (sink_) {
+        sink_->net_count(TraceSink::NetCounter::kMessagesDropped, 1);
+        sink_->instant(arrival, dst_host, m.dst, "msg", "msg.drop",
+                       {"tag", static_cast<double>(m.tag)},
+                       {"src", static_cast<double>(m.src)});
       }
       return;
     }
@@ -88,11 +67,11 @@ void Network::post(Message m, int src_host, Process& dst, int dst_host) {
   Process* target = &dst;
   if (duplicate) {
     ++duplicated_;
-    if (m_duplicated_) m_duplicated_->inc();
-    if (trace_) {
-      trace_->instant(arrival + cfg_.latency, dst_host, m.dst, "msg",
-                      "msg.dup", {"tag", static_cast<double>(m.tag)},
-                      {"src", static_cast<double>(m.src)});
+    if (sink_) {
+      sink_->net_count(TraceSink::NetCounter::kMessagesDuplicated, 1);
+      sink_->instant(arrival + cfg_.latency, dst_host, m.dst, "msg",
+                     "msg.dup", {"tag", static_cast<double>(m.tag)},
+                     {"src", static_cast<double>(m.src)});
     }
     // The copy trails the original by one wire latency (a NIC-level
     // retransmit artefact); it does not occupy the link again.
@@ -100,11 +79,11 @@ void Network::post(Message m, int src_host, Process& dst, int dst_host) {
       target->mailbox().push(std::move(msg));
     });
   }
-  if (trace_) {
-    trace_->instant(arrival, dst_host, m.dst, "msg", "msg.deliver",
-                    {"tag", static_cast<double>(m.tag)},
-                    {"src", static_cast<double>(m.src)},
-                    {"bytes", static_cast<double>(m.payload.size())});
+  if (sink_) {
+    sink_->instant(arrival, dst_host, m.dst, "msg", "msg.deliver",
+                   {"tag", static_cast<double>(m.tag)},
+                   {"src", static_cast<double>(m.src)},
+                   {"bytes", static_cast<double>(m.payload.size())});
   }
   eng_.schedule_at(arrival, [target, msg = std::move(m)]() mutable {
     target->mailbox().push(std::move(msg));

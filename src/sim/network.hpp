@@ -18,13 +18,8 @@
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
+#include "sim/sink.hpp"
 #include "util/rng.hpp"
-
-namespace nowlb::obs {
-class TraceBus;
-class MetricsRegistry;
-class Counter;
-}  // namespace nowlb::obs
 
 namespace nowlb::sim {
 
@@ -35,10 +30,10 @@ class Network {
   Network(Engine& eng, NetConfig cfg)
       : eng_(eng), cfg_(cfg), fault_rng_(cfg.fault_seed) {}
 
-  /// Attach a flight recorder (both may be null; must outlive the run).
-  /// Emits msg.send/deliver/drop/dup instants and sim_* counters. Pure
+  /// Attach a trace sink (may be null; must outlive the run). Emits
+  /// msg.send/deliver/drop/dup instants and sim_* counters through it. Pure
   /// observation: no clock or RNG effect, traces stay bit-identical.
-  void set_obs(obs::TraceBus* trace, obs::MetricsRegistry* metrics);
+  void set_sink(TraceSink* sink) { sink_ = sink; }
 
   /// Enqueue `m` for delivery from src_host to dst (on dst_host) starting
   /// at the current virtual time.
@@ -57,11 +52,7 @@ class Network {
   Engine& eng_;
   NetConfig cfg_;
   Rng fault_rng_;
-  obs::TraceBus* trace_ = nullptr;
-  obs::Counter* m_sent_ = nullptr;
-  obs::Counter* m_bytes_ = nullptr;
-  obs::Counter* m_dropped_ = nullptr;
-  obs::Counter* m_duplicated_ = nullptr;
+  TraceSink* sink_ = nullptr;
   // Keyed lookups only (never iterated), but an ordered map keeps the
   // container off nowlb-lint's D003 unordered ban with nothing to justify:
   // host counts are small enough that the tree vs. hash cost is noise.

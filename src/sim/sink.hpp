@@ -1,0 +1,66 @@
+// TraceSink: the sim layer's outbound observation interface.
+//
+// sim never includes obs headers (layering rule L001: sim sits below obs).
+// Instead, everything the simulator wants to record — trace events, network
+// counters, end-of-run stats — goes through this abstract sink. The obs
+// layer implements it (obs::attach wires a World to an Observability hub);
+// tests can implement it directly to capture events without the hub.
+//
+// Implementations must be pure observation: no virtual-time cost, no RNG
+// draws, no engine interaction. The bit-identical-trace acceptance tests
+// pin that property down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace nowlb::sim {
+
+/// One optional numeric event argument (key must be a string literal or
+/// other static storage; sinks keep the pointer, not a copy). Namespace
+/// scope (not nested) so it is complete where the sink's default
+/// arguments need it.
+struct SinkArg {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+class TraceSink {
+ public:
+  using Arg = SinkArg;
+
+  /// Monotonic counters the network maintains per run.
+  enum class NetCounter : std::uint8_t {
+    kMessagesSent,
+    kPayloadBytes,
+    kMessagesDropped,
+    kMessagesDuplicated,
+  };
+
+  virtual ~TraceSink() = default;
+
+  /// Point event at simulated time `t` on (host, lane).
+  virtual void instant(Time t, int host, int lane, const char* cat,
+                       const char* name, Arg a0 = {}, Arg a1 = {},
+                       Arg a2 = {}) = 0;
+
+  /// Span covering [begin, end] of simulated time on (host, lane).
+  virtual void complete(Time begin, Time end, int host, int lane,
+                        const char* cat, const char* name, Arg a0 = {},
+                        Arg a1 = {}, Arg a2 = {}) = 0;
+
+  /// Human-readable names for the exporter (host -> pid, lane -> tid).
+  virtual void name_host(int host, const std::string& name) = 0;
+  virtual void name_lane(int host, int lane, const std::string& name) = 0;
+
+  /// Bump a network counter by `delta`.
+  virtual void net_count(NetCounter c, std::uint64_t delta) = 0;
+
+  /// End-of-run stats: final virtual clock and engine dispatch count.
+  virtual void run_stats(double virtual_time_s,
+                         std::uint64_t dispatched_events) = 0;
+};
+
+}  // namespace nowlb::sim

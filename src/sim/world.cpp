@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -102,15 +101,15 @@ World::~World() {
   if (owns_log_clock_) Log::clear_time_source(this);
 }
 
-void World::set_obs(obs::Observability* o) {
-  obs_ = o;
-  network_.set_obs(o ? &o->trace : nullptr, o ? &o->metrics : nullptr);
-  if (obs_) {
+void World::set_sink(std::unique_ptr<TraceSink> sink) {
+  sink_ = std::move(sink);
+  network_.set_sink(sink_.get());
+  if (sink_) {
     for (const auto& h : hosts_) {
-      obs_->trace.name_host(h->id(), "host" + std::to_string(h->id()));
+      sink_->name_host(h->id(), "host" + std::to_string(h->id()));
     }
     for (const auto& p : processes_) {
-      obs_->trace.name_lane(p->host().id(), p->pid(), p->name());
+      sink_->name_lane(p->host().id(), p->pid(), p->name());
     }
   }
 }
@@ -119,9 +118,9 @@ Host& World::add_host() {
   hosts_.push_back(
       std::make_unique<Host>(engine_, static_cast<int>(hosts_.size()),
                              cfg_.host));
-  if (obs_) {
-    obs_->trace.name_host(hosts_.back()->id(),
-                          "host" + std::to_string(hosts_.back()->id()));
+  if (sink_) {
+    sink_->name_host(hosts_.back()->id(),
+                     "host" + std::to_string(hosts_.back()->id()));
   }
   return *hosts_.back();
 }
@@ -141,10 +140,10 @@ Pid World::spawn(Host& host, std::string name, ProcessBody body,
   processes_.push_back(std::move(proc));
   engine_.schedule_at(engine_.now(), [raw] { raw->start(); });
   for (WorldObserver* o : observers_) o->on_spawn(engine_.now(), *raw);
-  if (obs_) {
-    obs_->trace.name_lane(host.id(), pid, raw->name());
-    obs_->trace.instant(engine_.now(), host.id(), pid, "proc", "proc.spawn",
-                        {"essential", essential ? 1.0 : 0.0});
+  if (sink_) {
+    sink_->name_lane(host.id(), pid, raw->name());
+    sink_->instant(engine_.now(), host.id(), pid, "proc", "proc.spawn",
+                   {"essential", essential ? 1.0 : 0.0});
   }
   return pid;
 }
@@ -156,9 +155,9 @@ Time World::cpu_used(Pid pid) const {
 
 void World::on_process_done(Process& p) {
   for (WorldObserver* o : observers_) o->on_process_done(engine_.now(), p);
-  if (obs_) {
-    obs_->trace.instant(engine_.now(), p.host().id(), p.pid(), "proc",
-                        "proc.done", {"error", p.error() ? 1.0 : 0.0});
+  if (sink_) {
+    sink_->instant(engine_.now(), p.host().id(), p.pid(), "proc",
+                   "proc.done", {"error", p.error() ? 1.0 : 0.0});
   }
   if (p.error()) {
     NOWLB_LOG(Error, "sim") << "process " << p.name() << " failed";
@@ -177,9 +176,8 @@ void World::kill(Pid pid) {
   Process& p = *processes_.at(pid);
   if (p.killed_ || p.finished_) return;
   p.killed_ = true;
-  if (obs_) {
-    obs_->trace.instant(engine_.now(), p.host_.id(), pid, "proc",
-                        "proc.kill");
+  if (sink_) {
+    sink_->instant(engine_.now(), p.host_.id(), pid, "proc", "proc.kill");
   }
   NOWLB_LOG(Info, "sim") << "process " << p.name() << " killed at t="
                          << to_seconds(engine_.now()) << "s";
@@ -199,13 +197,9 @@ void World::kill(Pid pid) {
 
 void World::run() {
   engine_.run();
-  if (obs_) {
-    obs_->metrics
-        .gauge("sim_virtual_time_seconds", "Virtual clock at end of run")
-        .set(to_seconds(engine_.now()));
-    obs_->metrics
-        .gauge("sim_events_dispatched", "Engine events dispatched")
-        .set(static_cast<double>(engine_.dispatched_events()));
+  if (sink_) {
+    sink_->run_stats(to_seconds(engine_.now()),
+                     engine_.dispatched_events());
   }
 }
 

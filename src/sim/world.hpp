@@ -24,6 +24,7 @@
 #include "sim/network.hpp"
 #include "sim/observer.hpp"
 #include "sim/process.hpp"
+#include "sim/sink.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
@@ -50,11 +51,19 @@ class World {
   Recorder& recorder() { return recorder_; }
   Time now() const { return engine_.now(); }
 
-  /// Attach a flight recorder (not owned; must outlive the world). The
-  /// world forwards it to the network and stamps process lifecycle events;
-  /// protocol layers read it via obs(). Attaching is pure observation —
-  /// the event schedule and trace_hash() are bit-identical either way.
-  void set_obs(obs::Observability* o);
+  /// Attach a trace sink (owned; replaced on re-attach, null detaches).
+  /// The world forwards it to the network and stamps process lifecycle
+  /// events through it. Attaching is pure observation — the event schedule
+  /// and trace_hash() are bit-identical either way. Use obs::attach() to
+  /// wire up a full flight-recorder hub; sim itself never sees obs types.
+  void set_sink(std::unique_ptr<TraceSink> sink);
+  TraceSink* sink() const { return sink_.get(); }
+
+  /// Opaque handle to the attached flight-recorder hub. The world stores
+  /// it for protocol layers (master/slave/transport read it via obs());
+  /// sim code never dereferences it — all sim-side recording goes through
+  /// the TraceSink.
+  void set_obs_handle(obs::Observability* o) { obs_ = o; }
   obs::Observability* obs() const { return obs_; }
 
   /// Create a new host (workstation). Hosts are identified by index.
@@ -108,7 +117,8 @@ class World {
   Engine engine_;
   Network network_;
   Recorder recorder_;
-  obs::Observability* obs_ = nullptr;
+  std::unique_ptr<TraceSink> sink_;
+  obs::Observability* obs_ = nullptr;  // opaque; never dereferenced by sim
   bool owns_log_clock_ = false;
   Rng rng_;
   std::vector<std::unique_ptr<Host>> hosts_;

@@ -1,0 +1,258 @@
+// Causal round DAG tests (DESIGN.md §13): well-formedness of graphs
+// reconstructed from clean and crash-fault runs, determinism with causal
+// wire propagation on, the runfile round-trip `nowlb-inspect` relies on,
+// and the critical-path walk.
+#include "obs/causal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/scenario.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/obs.hpp"
+#include "obs/runfile.hpp"
+#include "sim/time.hpp"
+
+namespace nowlb {
+namespace {
+
+std::string problems_of(const obs::CausalGraph& g) {
+  std::ostringstream os;
+  for (const std::string& p : g.problems) os << p << "\n";
+  return os.str();
+}
+
+check::FuzzResult run_with_hub(check::Scenario& sc, obs::Observability& hub) {
+  return check::run_scenario(sc, check::InvariantSet::Fault::kNone, &hub);
+}
+
+TEST(CausalGraph, CleanRunIsWellFormed) {
+  for (const check::App app :
+       {check::App::kMm, check::App::kSor, check::App::kLu}) {
+    check::Scenario sc = check::generate_scenario(11, app);
+    obs::Observability hub;
+    const check::FuzzResult res = run_with_hub(sc, hub);
+    ASSERT_TRUE(res.ok) << sc.describe();
+    const obs::CausalGraph g = obs::build_causal_graph(hub.trace, hub.ledger);
+    EXPECT_TRUE(g.well_formed()) << app_name(app) << "\n" << problems_of(g);
+    EXPECT_EQ(g.nranks, sc.slaves) << app_name(app);
+    EXPECT_FALSE(g.rounds.empty()) << app_name(app);
+    EXPECT_FALSE(g.spans.empty()) << app_name(app);
+    EXPECT_TRUE(g.evicted.empty()) << app_name(app);
+    EXPECT_GT(g.total_compute_s(), 0.0);
+    EXPECT_GT(g.efficiency(), 0.0);
+    EXPECT_LE(g.efficiency(), 1.0 + 1e-9);
+    for (const obs::RoundBreakdown& r : g.rounds) {
+      EXPECT_GE(r.compute_s, 0.0);
+      EXPECT_GE(r.blocked_s, 0.0);
+      EXPECT_GE(r.transport_s, 0.0);
+      EXPECT_GE(r.decision_s, 0.0);
+      EXPECT_GE(r.migration_s, 0.0);
+      EXPECT_GE(r.t_end, r.t_begin);
+    }
+  }
+}
+
+// Causal wire propagation on: every migration span must carry the round
+// whose instructions ordered it, and report/instruction transits join up.
+TEST(CausalGraph, CausalWireRunAttributesMigrations) {
+  check::Scenario sc = check::generate_scenario(3, check::App::kMm);
+  sc.lb.causal = true;
+  obs::Observability hub;
+  const check::FuzzResult res = run_with_hub(sc, hub);
+  ASSERT_TRUE(res.ok) << sc.describe();
+  const obs::CausalGraph g = obs::build_causal_graph(hub.trace, hub.ledger);
+  EXPECT_TRUE(g.well_formed()) << problems_of(g);
+  bool saw_transit = false;
+  for (const obs::CausalSpan& s : g.spans) {
+    EXPECT_GE(s.dur(), 0);
+    if (s.kind == obs::SpanKind::kReportTransit ||
+        s.kind == obs::SpanKind::kInstrTransit) {
+      saw_transit = true;
+    }
+    if (s.kind == obs::SpanKind::kMigration) {
+      EXPECT_GT(s.round, 0) << "migration not attributed to a round";
+      EXPECT_GE(s.rank, 0);
+      EXPECT_GE(s.peer, 0);
+    }
+  }
+  EXPECT_TRUE(saw_transit);
+}
+
+// The feature gate must not perturb determinism in either state: with
+// causal wire propagation on, the run replays bit-identically, and the
+// recorder stays pure observation.
+TEST(CausalGraph, CausalWireRunsAreDeterministic) {
+  auto run_once = [](obs::Observability* hub) {
+    check::Scenario sc = check::generate_scenario(5, check::App::kMm);
+    sc.lb.causal = true;
+    return check::run_scenario(sc, check::InvariantSet::Fault::kNone, hub);
+  };
+  const check::FuzzResult bare = run_once(nullptr);
+  obs::Observability hub_a;
+  obs::Observability hub_b;
+  const check::FuzzResult a = run_once(&hub_a);
+  const check::FuzzResult b = run_once(&hub_b);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.trace_hash, bare.trace_hash);
+  EXPECT_EQ(hub_a.trace.events().size(), hub_b.trace.events().size());
+}
+
+// A slave killed mid-round must leave a recoverable DAG: the evicted
+// rank's subgraph simply terminates, with no events after the eviction.
+TEST(CausalGraph, KillSlaveRunStaysWellFormed) {
+  for (const bool causal : {false, true}) {
+    check::FaultPlan plan;
+    plan.drop_rate = 0.05;
+    plan.dup_rate = 0.02;
+    plan.reorder_delay = 500 * sim::kMicrosecond;
+    plan.kill_rank = 1;
+    plan.kill_round = 3;
+    check::Scenario sc = check::generate_scenario(7, check::App::kMm);
+    check::apply_fault_plan(sc, plan);
+    sc.lb.causal = causal;
+    ASSERT_GE(sc.slaves, 2);
+    obs::Observability hub;
+    const check::FuzzResult res = run_with_hub(sc, hub);
+    ASSERT_TRUE(res.ok) << sc.describe();
+    const obs::CausalGraph g = obs::build_causal_graph(hub.trace, hub.ledger);
+    EXPECT_TRUE(g.well_formed()) << "causal=" << causal << "\n"
+                                 << problems_of(g);
+    EXPECT_EQ(g.evicted, std::vector<int>{1}) << "causal=" << causal;
+  }
+}
+
+TEST(CausalGraph, ValidatorFlagsNonMonotoneRoundsAndNegativeSpans) {
+  obs::TraceBus bus;
+  obs::DecisionLedger ledger;
+  bus.complete(0, 100, 1, 1, "cz", "cz.window", {"rank", 0.0}, {"round", 2.0},
+               {"blocked", 0.0});
+  bus.complete(100, 200, 1, 1, "cz", "cz.window", {"rank", 0.0},
+               {"round", 1.0}, {"blocked", 0.0});
+  bus.complete(300, 250, 1, 1, "cz", "cz.window", {"rank", 0.0},
+               {"round", 3.0}, {"blocked", 0.0});
+  const obs::CausalGraph g = obs::build_causal_graph(bus, ledger);
+  EXPECT_FALSE(g.well_formed());
+  bool saw_monotone = false;
+  bool saw_negative = false;
+  for (const std::string& p : g.problems) {
+    saw_monotone = saw_monotone || p.find("not monotone") != std::string::npos;
+    saw_negative = saw_negative || p.find("negative") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_monotone) << problems_of(g);
+  EXPECT_TRUE(saw_negative) << problems_of(g);
+}
+
+TEST(CausalGraph, ValidatorFlagsInstructionWithoutReport) {
+  obs::TraceBus bus;
+  obs::DecisionLedger ledger;
+  // An applied instruction on rank 0 round 1 with no report anywhere.
+  bus.instant(50, 1, 1, "lb", "slave.instr", {"rank", 0.0}, {"round", 1.0});
+  const obs::CausalGraph g = obs::build_causal_graph(bus, ledger);
+  EXPECT_FALSE(g.well_formed());
+  ASSERT_FALSE(g.problems.empty());
+  EXPECT_NE(g.problems.front().find("no matching report"), std::string::npos);
+
+  // The same orphaned application on an evicted rank is fine: its round
+  // subgraph terminated with the crash.
+  obs::TraceBus bus2;
+  bus2.instant(50, 1, 1, "lb", "slave.instr", {"rank", 0.0}, {"round", 1.0});
+  bus2.instant(60, 0, 0, "lb", "lb.evict", {"rank", 0.0});
+  const obs::CausalGraph g2 = obs::build_causal_graph(bus2, ledger);
+  EXPECT_TRUE(g2.well_formed()) << problems_of(g2);
+}
+
+TEST(CriticalPath, CoversTheRunAndOrdersSteps) {
+  check::Scenario sc = check::generate_scenario(11, check::App::kMm);
+  sc.lb.causal = true;
+  obs::Observability hub;
+  const check::FuzzResult res = run_with_hub(sc, hub);
+  ASSERT_TRUE(res.ok);
+  const obs::CausalGraph g = obs::build_causal_graph(hub.trace, hub.ledger);
+  const obs::CriticalPath path = obs::critical_path(g);
+  ASSERT_FALSE(path.steps.empty());
+  for (std::size_t i = 1; i < path.steps.size(); ++i) {
+    EXPECT_LE(path.steps[i - 1].begin, path.steps[i].begin);
+  }
+  // The path cannot be longer than the wall it explains.
+  EXPECT_LE(sim::to_seconds(path.length()), g.wall_s() + 1e-9);
+  EXPECT_GT(sim::to_seconds(path.length()), 0.0);
+
+  const auto edges = obs::top_edges(path, 3);
+  ASSERT_FALSE(edges.empty());
+  EXPECT_LE(edges.size(), 3u);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(edges[i - 1].total, edges[i].total);  // heaviest first
+  }
+  int steps = 0;
+  for (const auto& e : edges) steps += e.count;
+  EXPECT_LE(steps, static_cast<int>(path.steps.size()));
+}
+
+TEST(Runfile, RoundtripPreservesTheGraph) {
+  check::Scenario sc = check::generate_scenario(3, check::App::kMm);
+  sc.lb.causal = true;
+  obs::Observability hub;
+  const check::FuzzResult res = run_with_hub(sc, hub);
+  ASSERT_TRUE(res.ok);
+  const obs::CausalGraph before =
+      obs::build_causal_graph(hub.trace, hub.ledger);
+
+  std::ostringstream os;
+  obs::write_runfile(os, hub.trace, hub.ledger,
+                     {{"app", "mm"}, {"note", "roundtrip"}});
+  std::istringstream is(os.str());
+  obs::LoadedRun run;
+  std::string error;
+  ASSERT_TRUE(obs::load_runfile(is, run, error)) << error;
+  EXPECT_EQ(run.meta.at("app"), "mm");
+  EXPECT_EQ(run.ledger.records().size(), hub.ledger.records().size());
+
+  const obs::CausalGraph after = obs::build_causal_graph(run.trace, run.ledger);
+  EXPECT_TRUE(after.well_formed()) << problems_of(after);
+  EXPECT_EQ(after.nranks, before.nranks);
+  ASSERT_EQ(after.rounds.size(), before.rounds.size());
+  EXPECT_EQ(after.spans.size(), before.spans.size());
+  for (std::size_t i = 0; i < after.rounds.size(); ++i) {
+    EXPECT_EQ(after.rounds[i].round, before.rounds[i].round);
+    EXPECT_EQ(after.rounds[i].units_moved, before.rounds[i].units_moved);
+    EXPECT_NEAR(after.rounds[i].efficiency, before.rounds[i].efficiency,
+                1e-12);
+  }
+  EXPECT_NEAR(after.efficiency(), before.efficiency(), 1e-12);
+
+  // Writing the loaded run again reproduces the exact same file: the
+  // format is canonical, so runfiles can be diffed byte-for-byte.
+  std::ostringstream os2;
+  obs::write_runfile(os2, run.trace, run.ledger, run.meta);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(Runfile, MalformedInputsAreRejectedWithLineNumbers) {
+  auto rejects = [](const std::string& text, const char* needle) {
+    std::istringstream is(text);
+    obs::LoadedRun run;
+    std::string error;
+    EXPECT_FALSE(obs::load_runfile(is, run, error)) << text;
+    EXPECT_NE(error.find(needle), std::string::npos) << error;
+  };
+  rejects("", "empty input");
+  rejects("garbage\n", "bad header");
+  rejects("nowlb-run 1\nwat 1 2\nend events=0 ledger=0\n",
+          "unknown directive");
+  rejects("nowlb-run 1\ne i 5 0 1 1 cz cz.window\n", "missing end trailer");
+  // Trailer counts catch truncation.
+  rejects("nowlb-run 1\nend events=3 ledger=0\n", "count mismatch");
+  rejects("nowlb-run 1\ne i 5 0 1 1 cz cz.window rank=x\n",
+          "bad numeric arg value");
+  rejects("nowlb-run 1\nledger 1 0 99 0 0.1 0.2 ok\nend events=0 ledger=1\n",
+          "gate out of range");
+  rejects("nowlb-run 1\nend events=0 ledger=0\ntrailing\n",
+          "content after end");
+}
+
+}  // namespace
+}  // namespace nowlb

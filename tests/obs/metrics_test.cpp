@@ -43,6 +43,46 @@ TEST(Histogram, BucketsAreUpperBoundInclusive) {
   EXPECT_DOUBLE_EQ(h.sum(), 106.5);
 }
 
+TEST(Histogram, QuantilesInterpolateInsideTheBucket) {
+  obs::Histogram h({10.0, 20.0, 40.0});
+  // 4 observations in (0,10], 4 in (10,20], 2 in (20,40].
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  for (int i = 0; i < 4; ++i) h.observe(15.0);
+  for (int i = 0; i < 2; ++i) h.observe(30.0);
+  // p50: rank 5 of 10 -> 1st observation inside (10,20] -> 10 + 20%*10.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 12.5);
+  // p90: rank 9 -> 1st of 2 inside (20,40] -> 20 + 50%*20.
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 30.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));  // clamped
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  // Estimates landing in +Inf clamp to the highest finite bound.
+  obs::Histogram inf_heavy({1.0});
+  inf_heavy.observe(100.0);
+  inf_heavy.observe(200.0);
+  EXPECT_DOUBLE_EQ(inf_heavy.quantile(0.99), 1.0);
+}
+
+TEST(MetricsRegistry, PrometheusDumpCarriesQuantiles) {
+  obs::MetricsRegistry m;
+  obs::Histogram& h = m.histogram("lat", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  const std::string text = m.prometheus_text();
+  EXPECT_NE(text.find("lat_p50 5\n"), std::string::npos) << text;
+  // p90/p99 interpolate to 9 and 9.9; full-precision formatting may carry
+  // representation digits, so only pin the prefix.
+  EXPECT_NE(text.find("lat_p90 9"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_p99 9.9"), std::string::npos) << text;
+  // An empty histogram dumps no quantile lines (they would be meaningless).
+  obs::MetricsRegistry m2;
+  m2.histogram("idle", {1.0});
+  EXPECT_EQ(m2.prometheus_text().find("_p50"), std::string::npos);
+}
+
 TEST(MetricsRegistry, ReRegistrationReturnsTheSameMetric) {
   obs::MetricsRegistry m;
   obs::Counter& a = m.counter("x", "first help wins");
@@ -109,7 +149,7 @@ TEST(MetricsRegistry, JsonSnapshotShape) {
   EXPECT_EQ(json,
             "{\"counters\":{\"c\":2},\"gauges\":{\"g\":0.5},"
             "\"histograms\":{\"h\":{\"buckets\":[[1,0]],\"inf\":1,"
-            "\"sum\":3,\"count\":1}}}");
+            "\"sum\":3,\"count\":1,\"p50\":1,\"p90\":1,\"p99\":1}}}");
 }
 
 // Two identical seeded runs must register and count the exact same

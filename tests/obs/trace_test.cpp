@@ -111,6 +111,43 @@ TEST(ChromeTrace, HarnessRunExportsNamedMonotonicTrace) {
   EXPECT_NE(json.find("\"msg.send\""), std::string::npos);
 }
 
+// Per-category sampling: a deterministic keep-every-Nth decimation of the
+// bulky categories so 10k-host runs fit the flight-recorder bound.
+TEST(TraceBus, PerCategorySamplingIsDeterministicKeepEveryNth) {
+  obs::TraceBus bus;
+  bus.set_sampling("msg", 3);
+  for (int i = 0; i < 9; ++i) {
+    bus.instant(i, 0, 0, "msg", "msg.send", {"i", static_cast<double>(i)});
+    bus.instant(i, 0, 0, "lb", "lb.report");  // untouched category
+  }
+  // Every 3rd msg event kept (the 1st, 4th, 7th), all lb events kept.
+  ASSERT_EQ(bus.events().size(), 3u + 9u);
+  EXPECT_EQ(bus.sampled_out(), 6u);
+  EXPECT_EQ(bus.dropped(), 0u);  // sampling is not a capacity drop
+  std::vector<double> kept;
+  for (const auto& e : bus.events()) {
+    if (std::string(e.cat) == "msg") kept.push_back(e.a0.value);
+  }
+  EXPECT_EQ(kept, (std::vector<double>{0, 3, 6}));
+}
+
+TEST(TraceBus, SamplingZeroDropsTheCategoryAndClearRearms) {
+  obs::TraceBus bus;
+  bus.set_sampling("msg", 0);
+  bus.instant(1, 0, 0, "msg", "msg.send");
+  bus.instant(2, 0, 0, "cz", "cz.window");
+  ASSERT_EQ(bus.events().size(), 1u);
+  EXPECT_STREQ(bus.events()[0].cat, "cz");
+  EXPECT_EQ(bus.sampled_out(), 1u);
+
+  // clear() resets the phase so a re-used bus samples identically.
+  bus.set_sampling("msg", 2);
+  bus.clear();
+  EXPECT_EQ(bus.sampled_out(), 0u);
+  for (int i = 0; i < 4; ++i) bus.instant(i, 0, 0, "msg", "msg.send");
+  EXPECT_EQ(bus.events().size(), 2u);  // kept the 1st and 3rd again
+}
+
 // The acceptance property: a seeded run dispatches the bit-identical
 // event sequence with the flight recorder attached and without.
 TEST(ZeroPerturbation, TraceHashIsIdenticalWithRecorderAttached) {
