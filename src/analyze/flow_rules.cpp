@@ -1,0 +1,132 @@
+// P+F-rules: the cross-module tag-flow graph.
+//
+// Every kTag* constant declared anywhere in the tree gets its use sites
+// classified (proto_model.cpp) as send (send/post call, or `tag = kTagX`
+// message construction), recv (recv*/comparison/case dispatch), or other
+// (reliable-tag lists, fault windows, log text). The rules:
+//
+//   P001 — declared but never referenced: dead protocol surface.
+//   P002 — referenced but never examined on the receive side.
+//   F001 — examined on the receive side but with no send site anywhere:
+//          the dispatch arm is unreachable.
+//   F002 — endpoint asymmetry: a tag sent from inside a configured
+//          master/slave pair must be received inside the same pair, and
+//          vice versa. Self-loops (slave -> slave work movement) count.
+#include <string>
+#include <vector>
+
+#include "analyze/proto_model.hpp"
+#include "analyze/rules.hpp"
+
+namespace nowlb::analyze {
+
+namespace {
+
+Finding make(const Rule* r, const TagDecl& t, int line, std::string key,
+             std::string message) {
+  Finding fd;
+  fd.rule = r;
+  fd.rel_path = t.file;
+  fd.line = line;
+  fd.key = std::move(key);
+  fd.message = std::move(message);
+  return fd;
+}
+
+int count_kind(const TagDecl& t, TagSite::Kind k) {
+  int n = 0;
+  for (const auto& s : t.sites)
+    if (s.kind == k) ++n;
+  return n;
+}
+
+}  // namespace
+
+void run_flow_rules(const ProtoModel& model, const RuleConfig& cfg,
+                    std::vector<Finding>& out) {
+  const Rule* p001 = rule_by_name(kRuleTagUnhandled);
+  const Rule* p002 = rule_by_name(kRuleTagNoRecv);
+  const Rule* f001 = rule_by_name(kRuleTagNoOrigin);
+  const Rule* f002 = rule_by_name(kRuleTagAsym);
+
+  for (const TagDecl& t : model.tags) {
+    const int sends = count_kind(t, TagSite::Send);
+    const int recvs = count_kind(t, TagSite::Recv);
+
+    if (t.sites.empty()) {
+      out.push_back(make(p001, t, t.line, t.name,
+                         "message tag " + t.name +
+                             " is declared but never dispatched"));
+      continue;
+    }
+    if (recvs == 0) {
+      out.push_back(make(
+          p002, t, t.line, t.name,
+          "message tag " + t.name +
+              " is sent but never examined on the receive side"));
+      continue;
+    }
+    if (sends == 0) {
+      // Anchor at the first recv site: that's the unreachable dispatch.
+      const TagSite* first = nullptr;
+      for (const auto& s : t.sites)
+        if (s.kind == TagSite::Recv) {
+          first = &s;
+          break;
+        }
+      Finding fd;
+      fd.rule = f001;
+      fd.rel_path = first->file;
+      fd.line = first->line;
+      fd.key = t.name;
+      fd.message = "message tag " + t.name + " is received (" + first->file +
+                   ":" + std::to_string(first->line) +
+                   ") but nothing ever sends it";
+      out.push_back(std::move(fd));
+      continue;
+    }
+
+    // F002: per endpoint pair, a within-pair send needs a within-pair
+    // recv and vice versa.
+    for (const auto& [a, b] : cfg.endpoint_pairs) {
+      auto in_pair = [&](const TagSite& s) {
+        return s.file == a || s.file == b;
+      };
+      int pair_sends = 0, pair_recvs = 0;
+      const TagSite* anchor = nullptr;
+      for (const auto& s : t.sites) {
+        if (!in_pair(s)) continue;
+        if (s.kind == TagSite::Send) {
+          ++pair_sends;
+          if (!anchor) anchor = &s;
+        } else if (s.kind == TagSite::Recv) {
+          ++pair_recvs;
+          if (!anchor) anchor = &s;
+        }
+      }
+      if (pair_sends == 0 && pair_recvs == 0) continue;  // not their tag
+      if (pair_sends > 0 && pair_recvs == 0) {
+        Finding fd;
+        fd.rule = f002;
+        fd.rel_path = anchor->file;
+        fd.line = anchor->line;
+        fd.key = t.name + "@" + a;
+        fd.message = "tag " + t.name + " is sent inside the endpoint pair (" +
+                     a + ", " + b + ") but never received there";
+        out.push_back(std::move(fd));
+      } else if (pair_recvs > 0 && pair_sends == 0) {
+        Finding fd;
+        fd.rule = f002;
+        fd.rel_path = anchor->file;
+        fd.line = anchor->line;
+        fd.key = t.name + "@" + a;
+        fd.message = "tag " + t.name +
+                     " is received inside the endpoint pair (" + a + ", " + b +
+                     ") but never sent there";
+        out.push_back(std::move(fd));
+      }
+    }
+  }
+}
+
+}  // namespace nowlb::analyze

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "analyze/include_graph.hpp"
+#include "analyze/proto_model.hpp"
 
 namespace nowlb::analyze {
 
@@ -144,28 +146,65 @@ LintResult run_lint(const LintOptions& opts) {
     sups[&f] = std::move(s);
   }
   run_layering_rules(files, opts.config, all);
-  run_protocol_rules(files, all);
+
+  // The wire-contract verifier: protocol model + W/T/P+F passes.
+  const ProtoModel model = build_proto_model(files);
+  run_wire_rules(model, all);
+  run_trailer_rules(model, all);
+  run_flow_rules(model, opts.config, all);
 
   // Apply inline suppressions: a finding dies if a matching-rule NOLINT
   // sits on its line, or a NOLINTNEXTLINE on the line above.
   std::map<std::string, const ScannedFile*> by_path;
   for (const auto& f : files) by_path[f.rel_path] = &f;
-  std::vector<Finding> kept;
-  for (auto& fd : all) {
-    bool suppressed = false;
-    const auto it = by_path.find(fd.rel_path);
-    if (it != by_path.end()) {
-      for (auto& s : sups[it->second]) {
-        if (s.rule != fd.rule->name) continue;
-        const int target = s.next_line ? s.line + 1 : s.line;
-        if (target == fd.line) {
-          suppressed = true;
-          s.used = true;
-          break;
+  auto apply = [&](std::vector<Finding>& in) {
+    std::vector<Finding> kept;
+    for (auto& fd : in) {
+      bool suppressed = false;
+      const auto it = by_path.find(fd.rel_path);
+      if (it != by_path.end()) {
+        for (auto& s : sups[it->second]) {
+          if (s.rule != fd.rule->name) continue;
+          const int target = s.next_line ? s.line + 1 : s.line;
+          if (target == fd.line) {
+            suppressed = true;
+            s.used = true;
+            break;
+          }
         }
       }
+      if (!suppressed) kept.push_back(std::move(fd));
     }
-    if (!suppressed) kept.push_back(std::move(fd));
+    return kept;
+  };
+  std::vector<Finding> kept = apply(all);
+
+  // S002 — stale suppressions: a well-formed NOLINT that suppressed
+  // nothing in this run. Emitted after the first application round so a
+  // `NOLINT(nowlb-nolint-stale: reason)` can suppress its own finding
+  // (one level; stale-rule suppressions are never themselves flagged).
+  {
+    const Rule* s002 = rule_by_name(kRuleNolintStale);
+    std::vector<Finding> stale;
+    for (const auto& f : files) {
+      int n = 0;
+      for (const auto& s : sups[&f]) {
+        if (!s.has_reason) continue;  // malformed: already an S001
+        if (s.rule == kRuleNolintStale) continue;
+        ++n;
+        if (s.used) continue;
+        Finding fd;
+        fd.rule = s002;
+        fd.rel_path = f.rel_path;
+        fd.line = s.line;
+        fd.message = "NOLINT(" + s.rule + ") suppresses no finding";
+        fd.key = s.rule + "#stale#" + std::to_string(n);
+        stale.push_back(std::move(fd));
+      }
+    }
+    std::vector<Finding> stale_kept = apply(stale);
+    kept.insert(kept.end(), std::make_move_iterator(stale_kept.begin()),
+                std::make_move_iterator(stale_kept.end()));
   }
   sort_findings(kept);
 

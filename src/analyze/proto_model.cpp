@@ -1,0 +1,1192 @@
+#include "analyze/proto_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nowlb::analyze {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// A file's blanked code flattened to one string, with an offset -> line
+/// map so ops can be anchored back to source lines.
+struct Flat {
+  std::string text;
+  std::vector<std::size_t> line_start;  // offset of line i (0-based)
+
+  explicit Flat(const ScannedFile& f) {
+    for (int li = 0; li < f.line_count(); ++li) {
+      line_start.push_back(text.size());
+      text += f.code[li];
+      text += '\n';
+    }
+    line_start.push_back(text.size());
+  }
+
+  int line_of(std::size_t pos) const {
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), pos);
+    return static_cast<int>(it - line_start.begin());  // 1-based
+  }
+};
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Last position before `i` holding a non-space char, or npos.
+std::size_t prev_nonspace(const std::string& s, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (!std::isspace(static_cast<unsigned char>(s[i]))) return i;
+  }
+  return std::string::npos;
+}
+
+/// Position just past the bracket matching s[open] ('(' or '{').
+/// npos if unbalanced. Blanked code has no brackets inside literals.
+std::size_t match_bracket(const std::string& s, std::size_t open) {
+  const char o = s[open];
+  const char c = o == '(' ? ')' : (o == '{' ? '}' : (o == '<' ? '>' : '\0'));
+  if (!c) return std::string::npos;
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == o) ++depth;
+    else if (s[i] == c && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::string trim(std::string s) {
+  const auto a = s.find_first_not_of(" \t\n");
+  if (a == std::string::npos) return "";
+  const auto b = s.find_last_not_of(" \t\n");
+  return s.substr(a, b - a + 1);
+}
+
+/// Collapse whitespace runs to single spaces (normalizes multi-line
+/// conditions and type texts for stable fingerprints).
+std::string squeeze(const std::string& s) {
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ws = true;
+    } else {
+      if (ws && !out.empty()) out.push_back(' ');
+      ws = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// The last identifier in `s` ("" if none): `ins.orders` -> "orders",
+/// `static_cast<int>(x)` -> "x" style extraction happens at call sites.
+std::string last_ident(const std::string& s) {
+  std::size_t end = s.size();
+  while (end > 0 && !ident_char(s[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+/// First identifier at or after `i`; advances `i` past it.
+std::string next_ident(const std::string& s, std::size_t& i) {
+  while (i < s.size() && !ident_char(s[i])) ++i;
+  const std::size_t b = i;
+  while (i < s.size() && ident_char(s[i])) ++i;
+  return s.substr(b, i - b);
+}
+
+bool is_trailer_name(const std::string& id) {
+  return id.size() > 8 && id.compare(0, 8, "kTrailer") == 0;
+}
+
+bool is_tag_name(const std::string& id) {
+  return id.size() > 4 && id.compare(0, 4, "kTag") == 0 &&
+         std::isupper(static_cast<unsigned char>(id[4]));
+}
+
+/// Strip a leading static_cast<...>(...) / cast wrapper: returns the
+/// innermost argument text.
+std::string strip_cast(std::string arg) {
+  arg = trim(arg);
+  for (;;) {
+    const std::size_t lt = arg.find('<');
+    if (arg.compare(0, 11, "static_cast") == 0 && lt != std::string::npos) {
+      const std::size_t close = match_bracket(arg, lt);
+      if (close == std::string::npos) return arg;
+      const std::size_t paren = arg.find('(', close - 1);
+      if (paren == std::string::npos) return arg;
+      const std::size_t pclose = match_bracket(arg, paren);
+      if (pclose == std::string::npos) return arg;
+      arg = trim(arg.substr(paren + 1, pclose - paren - 2));
+      continue;
+    }
+    return arg;
+  }
+}
+
+}  // namespace
+
+int scalar_width(const std::string& type_token) {
+  const std::string t = last_ident(type_token);  // strip std:: etc.
+  if (t == "int8_t" || t == "uint8_t" || t == "char" || t == "bool")
+    return 1;
+  if (t == "int16_t" || t == "uint16_t") return 2;
+  if (t == "int32_t" || t == "uint32_t" || t == "int" || t == "unsigned" ||
+      t == "float" || t == "Tag" || t == "Pid")
+    return 4;
+  if (t == "int64_t" || t == "uint64_t" || t == "double" || t == "size_t" ||
+      t == "Time")
+    return 8;
+  return 0;
+}
+
+std::string describe_op(const WireOp& op) {
+  switch (op.kind) {
+    case WireOp::Scalar: {
+      std::string d = "field '" + op.field + "'";
+      if (op.width) d += " (" + std::to_string(op.width) + " bytes)";
+      return d;
+    }
+    case WireOp::Count:
+      return "count of '" + op.field + "' (" + std::to_string(op.width) +
+             " bytes)";
+    case WireOp::Vec:
+      return "vector '" + op.field + "'";
+    case WireOp::Bytes:
+      return "byte blob '" + op.field + "'";
+    case WireOp::Struct:
+      return "nested " + op.elem_struct + " '" + op.field + "'";
+    case WireOp::VecStruct:
+      return "vector of " + op.elem_struct + " '" + op.field + "'";
+    case WireOp::Marker:
+      return "trailer marker " + op.field;
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encode-body parsing
+// ---------------------------------------------------------------------------
+
+/// Parse one `.put*` chain starting at the '.' in `pos`. Appends ops;
+/// returns position past the chain, or npos on something unparseable.
+std::size_t parse_put_chain(const Flat& flat, std::size_t pos,
+                            const MsgStruct& ms, OpGroup& group) {
+  const std::string& s = flat.text;
+  while (pos < s.size() && s[pos] == '.') {
+    std::size_t i = pos + 1;
+    const std::string method = next_ident(s, i);
+    std::string type_token;
+    i = skip_ws(s, i);
+    if (i < s.size() && s[i] == '<') {  // .put<T>(...)
+      const std::size_t close = match_bracket(s, i);
+      if (close == std::string::npos) return std::string::npos;
+      type_token = squeeze(s.substr(i + 1, close - i - 2));
+      i = skip_ws(s, close);
+    }
+    if (i >= s.size() || s[i] != '(') return std::string::npos;
+    const std::size_t argend = match_bracket(s, i);
+    if (argend == std::string::npos) return std::string::npos;
+    const std::string arg = strip_cast(s.substr(i + 1, argend - i - 2));
+
+    WireOp op;
+    op.line = flat.line_of(pos);
+    op.type_token = type_token;
+    if (method == "put") {
+      if (arg.find(".size") != std::string::npos) {
+        op.kind = WireOp::Count;
+        op.field = last_ident(arg.substr(0, arg.find(".size")));
+        op.width = type_token.empty() ? 0 : scalar_width(type_token);
+      } else {
+        op.field = last_ident(arg);
+        if (is_trailer_name(op.field)) {
+          op.kind = WireOp::Marker;
+          op.width = 1;
+        } else {
+          op.kind = WireOp::Scalar;
+          if (!type_token.empty()) {
+            op.width = scalar_width(type_token);
+          } else if (const FieldDecl* f = ms.field(op.field)) {
+            op.width = f->width;
+            op.type_token = f->type;
+          }
+        }
+      }
+    } else if (method == "put_vec") {
+      op.kind = WireOp::Vec;
+      op.field = last_ident(arg);
+      if (const FieldDecl* f = ms.field(op.field)) {
+        op.type_token = f->elem;
+        op.width = f->elem_width;
+      }
+    } else if (method == "put_bytes") {
+      op.kind = WireOp::Bytes;
+      op.field = last_ident(arg);
+    } else if (method == "reserve") {
+      pos = skip_ws(s, argend);
+      continue;  // pre-sizing, not a wire op
+    } else {
+      return std::string::npos;  // unknown writer method
+    }
+    group.ops.push_back(op);
+    pos = skip_ws(s, argend);
+  }
+  return pos;
+}
+
+/// Parse an encode body [begin, end). Returns false -> opaque.
+bool parse_encode_body(const Flat& flat, std::size_t begin, std::size_t end,
+                       const std::string& writer, MsgStruct& ms) {
+  const std::string& s = flat.text;
+  ms.encode_groups.clear();
+  ms.encode_groups.push_back(OpGroup{});  // [0] unconditional
+  ms.encode_groups[0].line = flat.line_of(begin);
+
+  // Conditional extent: ops inside [cond_begin, cond_end) belong to the
+  // group opened by the innermost `if`. Nested ifs are opaque.
+  std::size_t cond_end = 0;
+  std::size_t active_group = 0;
+
+  std::size_t i = begin;
+  while (i < end) {
+    i = skip_ws(s, i);
+    if (i >= end) break;
+    if (i >= cond_end) active_group = 0;
+
+    if (ident_char(s[i])) {
+      std::size_t j = i;
+      const std::string id = next_ident(s, j);
+      if (id == "if") {
+        if (active_group != 0) return false;  // nested conditional: opaque
+        j = skip_ws(s, j);
+        if (j >= end || s[j] != '(') return false;
+        const std::size_t cclose = match_bracket(s, j);
+        if (cclose == std::string::npos || cclose > end) return false;
+        OpGroup g;
+        g.cond = squeeze(trim(s.substr(j + 1, cclose - j - 2)));
+        g.line = flat.line_of(i);
+        std::size_t body = skip_ws(s, cclose);
+        if (body < end && s[body] == '{') {
+          cond_end = match_bracket(s, body);
+          if (cond_end == std::string::npos || cond_end > end) return false;
+          i = body + 1;
+        } else {  // braceless single statement
+          cond_end = s.find(';', body);
+          if (cond_end == std::string::npos || cond_end > end) return false;
+          ++cond_end;
+          i = body;
+        }
+        ms.encode_groups.push_back(std::move(g));
+        active_group = ms.encode_groups.size() - 1;
+        continue;
+      }
+      if (id == "for") {
+        // Range-for over a vector field whose body nests X::encode.
+        j = skip_ws(s, j);
+        if (j >= end || s[j] != '(') return false;
+        const std::size_t hclose = match_bracket(s, j);
+        if (hclose == std::string::npos || hclose > end) return false;
+        const std::string header = s.substr(j + 1, hclose - j - 2);
+        const std::size_t colon = header.find(':');
+        if (colon == std::string::npos) return false;  // index loop: opaque
+        const std::string range = last_ident(trim(header.substr(colon + 1)));
+        std::size_t body = skip_ws(s, hclose);
+        std::size_t body_end;
+        if (body < end && s[body] == '{') {
+          body_end = match_bracket(s, body);
+          ++body;
+        } else {
+          body_end = s.find(';', body);
+          if (body_end != std::string::npos) ++body_end;
+        }
+        if (body_end == std::string::npos || body_end > end) return false;
+        const std::string body_text = s.substr(body, body_end - body);
+        if (body_text.find(".encode(") == std::string::npos) return false;
+        WireOp op;
+        op.kind = WireOp::VecStruct;
+        op.field = range;
+        op.line = flat.line_of(i);
+        if (const FieldDecl* f = ms.field(range)) op.elem_struct = f->elem;
+        ms.encode_groups[active_group].ops.push_back(op);
+        i = body_end;
+        continue;
+      }
+      if (id == writer) {
+        j = skip_ws(s, j);
+        if (j < end && s[j] == '.') {
+          // w.put(...)... chain, or field.encode(w) is handled below.
+          const std::size_t after =
+              parse_put_chain(flat, j, ms, ms.encode_groups[active_group]);
+          if (after == std::string::npos) return false;
+          i = after;
+          // Expect statement end.
+          i = skip_ws(s, i);
+          if (i < end && s[i] == ';') ++i;
+          continue;
+        }
+        return false;  // writer used in an unrecognized way
+      }
+      // Possibly `field.encode(w);` — nested single-struct encode.
+      std::size_t k = skip_ws(s, j);
+      if (k < end && s[k] == '.') {
+        std::size_t m = k + 1;
+        const std::string method = next_ident(s, m);
+        m = skip_ws(s, m);
+        if (method == "encode" && m < end && s[m] == '(') {
+          const std::size_t aclose = match_bracket(s, m);
+          if (aclose == std::string::npos || aclose > end) return false;
+          WireOp op;
+          op.kind = WireOp::Struct;
+          op.field = id;
+          op.line = flat.line_of(i);
+          if (const FieldDecl* f = ms.field(id)) op.elem_struct = f->type;
+          ms.encode_groups[active_group].ops.push_back(op);
+          i = skip_ws(s, aclose);
+          if (i < end && s[i] == ';') ++i;
+          continue;
+        }
+      }
+      // Any other statement mentioning the writer is opaque; statements
+      // that never touch it (asserts, locals) are skipped to the ';'.
+      std::size_t stmt_end = s.find(';', i);
+      if (stmt_end == std::string::npos || stmt_end > end) return false;
+      const std::string stmt = s.substr(i, stmt_end - i);
+      std::size_t wp = stmt.find(writer);
+      while (wp != std::string::npos) {
+        const bool l = wp == 0 || !ident_char(stmt[wp - 1]);
+        const bool r = wp + writer.size() >= stmt.size() ||
+                       !ident_char(stmt[wp + writer.size()]);
+        if (l && r) return false;
+        wp = stmt.find(writer, wp + 1);
+      }
+      i = stmt_end + 1;
+      continue;
+    }
+    if (s[i] == '}' || s[i] == '{' || s[i] == ';') {
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  // Promote a leading marker put to the group's marker label.
+  for (auto& g : ms.encode_groups) {
+    if (!g.ops.empty() && g.ops.front().kind == WireOp::Marker)
+      g.marker = g.ops.front().field;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Decode-body parsing
+// ---------------------------------------------------------------------------
+
+/// Parse `<lhs> = <rhs>;` decode statements into ops. Returns:
+///   1 parsed, 0 statement does not read the reader, -1 opaque.
+int parse_decode_stmt(const Flat& flat, const std::string& stmt,
+                      std::size_t stmt_pos, const std::string& reader,
+                      const MsgStruct& ms, OpGroup& group) {
+  const std::size_t eq = stmt.find('=');
+  std::string lhs = eq == std::string::npos ? "" : trim(stmt.substr(0, eq));
+  std::string rhs = trim(eq == std::string::npos ? stmt : stmt.substr(eq + 1));
+
+  // Does the statement use the reader at all?
+  const std::size_t rp = find_ident(stmt, reader);
+  if (rp == std::string::npos) return 0;
+
+  // push_back(X::decode(r)) inside loops is handled by the caller; here a
+  // direct nested decode: `s.field = X::decode(r);`
+  const std::size_t dc = rhs.find("::decode");
+  WireOp op;
+  op.line = flat.line_of(stmt_pos);
+  if (dc != std::string::npos) {
+    op.kind = WireOp::Struct;
+    op.field = last_ident(lhs);
+    op.elem_struct = last_ident(rhs.substr(0, dc));
+    group.ops.push_back(op);
+    return 1;
+  }
+
+  // r.get<T>() / r.get_vec<T>() / r.get_bytes() / r.get_string()
+  std::size_t g = rhs.find(reader + ".get");
+  if (g != std::string::npos &&
+      (g == 0 || !ident_char(rhs[g - 1]))) {
+    std::size_t i = g + reader.size() + 1;
+    const std::string method = next_ident(rhs, i);
+    std::string type_token;
+    i = skip_ws(rhs, i);
+    if (i < rhs.size() && rhs[i] == '<') {
+      const std::size_t close = match_bracket(rhs, i);
+      if (close == std::string::npos) return -1;
+      type_token = squeeze(rhs.substr(i + 1, close - i - 2));
+    }
+    op.type_token = type_token;
+    op.field = last_ident(lhs);
+    if (method == "get") {
+      // A local (no '.') read is a count/loop bound; a member read is a
+      // scalar field.
+      op.kind = lhs.find('.') == std::string::npos && !lhs.empty() &&
+                        ms.field(op.field) == nullptr
+                    ? WireOp::Count
+                    : WireOp::Scalar;
+      op.width = scalar_width(type_token);
+    } else if (method == "get_vec") {
+      op.kind = WireOp::Vec;
+      op.width = scalar_width(type_token);
+    } else if (method == "get_bytes" || method == "get_string") {
+      op.kind = WireOp::Bytes;
+    } else {
+      return -1;
+    }
+    group.ops.push_back(op);
+    return 1;
+  }
+  return -1;  // reader used in an unrecognized way
+}
+
+bool parse_decode_body(const Flat& flat, std::size_t begin, std::size_t end,
+                       const std::string& reader, MsgStruct& ms) {
+  const std::string& s = flat.text;
+  ms.decode_groups.clear();
+  ms.decode_groups.push_back(OpGroup{});
+  ms.decode_groups[0].line = flat.line_of(begin);
+
+  std::size_t i = begin;
+  while (i < end) {
+    i = skip_ws(s, i);
+    if (i >= end) break;
+    if (!ident_char(s[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    const std::string id = next_ident(s, j);
+
+    if (id == "while") {
+      j = skip_ws(s, j);
+      if (j >= end || s[j] != '(') return false;
+      const std::size_t cclose = match_bracket(s, j);
+      if (cclose == std::string::npos || cclose > end) return false;
+      const std::string cond = s.substr(j + 1, cclose - j - 2);
+      std::size_t body = skip_ws(s, cclose);
+      if (body >= end || s[body] != '{') return false;
+      const std::size_t body_end = match_bracket(s, body);
+      if (body_end == std::string::npos || body_end > end) return false;
+      if (cond.find(".remaining") == std::string::npos) return false;
+      // ---- the trailer loop ----
+      ms.decode_has_trailer_loop = true;
+      std::size_t k = body + 1;
+      // Marker read: first statement, `<var> = r.get<...>();`
+      std::size_t semi = s.find(';', k);
+      if (semi == std::string::npos || semi > body_end) return false;
+      const std::string mstmt = s.substr(k, semi - k);
+      const std::size_t meq = mstmt.find('=');
+      if (meq == std::string::npos ||
+          mstmt.find(reader + ".get") == std::string::npos)
+        return false;
+      const std::string marker_var = last_ident(mstmt.substr(0, meq));
+      k = semi + 1;
+      // Branches: if/else if (marker == kTrailerX) { ... } [else { ... }]
+      while (k < body_end) {
+        k = skip_ws(s, k);
+        if (k >= body_end) break;
+        if (!ident_char(s[k])) break;  // '}' — end of the loop body
+        std::size_t b = k;
+        std::string kw = next_ident(s, b);
+        if (kw == "else") {
+          std::size_t b2 = skip_ws(s, b);
+          std::size_t b3 = b2;
+          const std::string kw2 = next_ident(s, b3);
+          if (kw2 == "if") {
+            kw = "if";
+            b = b3;
+          } else {
+            // terminal else: unknown markers rejected
+            ms.decode_trailer_has_else = true;
+            if (b2 < body_end && s[b2] == '{') {
+              const std::size_t e = match_bracket(s, b2);
+              if (e == std::string::npos || e > body_end) return false;
+              k = e;
+            } else {
+              const std::size_t e = s.find(';', b2);
+              if (e == std::string::npos || e > body_end) return false;
+              k = e + 1;
+            }
+            continue;
+          }
+        }
+        if (kw != "if") return false;
+        b = skip_ws(s, b);
+        if (b >= body_end || s[b] != '(') return false;
+        const std::size_t bc = match_bracket(s, b);
+        if (bc == std::string::npos || bc > body_end) return false;
+        const std::string bcond = s.substr(b + 1, bc - b - 2);
+        if (find_ident(bcond, marker_var) == std::string::npos ||
+            bcond.find("==") == std::string::npos)
+          return false;
+        OpGroup branch;
+        branch.line = flat.line_of(k);
+        // The marker constant is whatever kTrailer* (or other ident on the
+        // == side) the condition names.
+        std::size_t ci = 0;
+        std::string marker;
+        for (;;) {
+          const std::string cid = next_ident(bcond, ci);
+          if (cid.empty()) break;
+          if (cid != marker_var) {
+            marker = cid;
+            break;
+          }
+        }
+        branch.marker = marker;
+        std::size_t bb = skip_ws(s, bc);
+        std::size_t bb_end;
+        if (bb < body_end && s[bb] == '{') {
+          bb_end = match_bracket(s, bb);
+          ++bb;
+        } else {
+          bb_end = s.find(';', bb);
+          if (bb_end != std::string::npos) ++bb_end;
+        }
+        if (bb_end == std::string::npos || bb_end > body_end) return false;
+        // Statements inside the branch.
+        std::size_t p = bb;
+        while (p < bb_end) {
+          const std::size_t e = s.find(';', p);
+          if (e == std::string::npos || e >= bb_end) break;
+          const int rc = parse_decode_stmt(flat, s.substr(p, e - p), p,
+                                           reader, ms, branch);
+          if (rc < 0) return false;
+          p = e + 1;
+        }
+        ms.decode_groups.push_back(std::move(branch));
+        k = bb_end;
+      }
+      i = body_end;
+      continue;
+    }
+
+    if (id == "for") {
+      j = skip_ws(s, j);
+      if (j >= end || s[j] != '(') return false;
+      const std::size_t hclose = match_bracket(s, j);
+      if (hclose == std::string::npos || hclose > end) return false;
+      std::size_t body = skip_ws(s, hclose);
+      std::size_t body_end;
+      if (body < end && s[body] == '{') {
+        body_end = match_bracket(s, body);
+        ++body;
+      } else {
+        body_end = s.find(';', body);
+        if (body_end != std::string::npos) ++body_end;
+      }
+      if (body_end == std::string::npos || body_end > end) return false;
+      const std::string body_text = s.substr(body, body_end - body);
+      const std::size_t dc = body_text.find("::decode");
+      const std::size_t pb = body_text.find(".push_back");
+      if (dc == std::string::npos || pb == std::string::npos) return false;
+      WireOp op;
+      op.kind = WireOp::VecStruct;
+      op.field = last_ident(body_text.substr(0, pb));
+      op.elem_struct = last_ident(body_text.substr(0, dc));
+      op.line = flat.line_of(i);
+      ms.decode_groups[0].ops.push_back(op);
+      i = body_end;
+      continue;
+    }
+
+    if (id == "return") {
+      const std::size_t e = s.find(';', j);
+      if (e == std::string::npos || e > end) return false;
+      i = e + 1;
+      continue;
+    }
+
+    // Ordinary statement: parse to ';'. Skip statements that never touch
+    // the reader (locals, reserve(), checks); anything else must parse.
+    std::size_t stmt_end = s.find(';', i);
+    if (stmt_end == std::string::npos || stmt_end > end) return false;
+    const int rc = parse_decode_stmt(flat, s.substr(i, stmt_end - i), i,
+                                     reader, ms, ms.decode_groups[0]);
+    if (rc < 0) return false;
+    i = stmt_end + 1;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// encoded_size parsing
+// ---------------------------------------------------------------------------
+
+/// Parse one additive expression into normalized terms. Returns false on
+/// constructs the grammar does not cover.
+bool parse_size_expr(const Flat& flat, const std::string& expr,
+                     std::size_t expr_pos, std::vector<SizeTerm>& out) {
+  // Split on top-level '+'.
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : expr) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == '+' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+
+  const int line = flat.line_of(expr_pos);
+  for (std::string part : parts) {
+    part = trim(part);
+    if (part.empty()) return false;
+
+    // Split on top-level '*'.
+    std::vector<std::string> factors;
+    depth = 0;
+    cur.clear();
+    for (char c : part) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == '*' && depth == 0) {
+        factors.push_back(trim(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    factors.push_back(trim(cur));
+
+    long multiplier = 1;
+    std::vector<std::string> sized;  // size-bearing factors
+    for (const auto& f : factors) {
+      if (!f.empty() &&
+          std::all_of(f.begin(), f.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+          })) {
+        multiplier *= std::stol(f);
+      } else {
+        sized.push_back(f);
+      }
+    }
+
+    auto push = [&](SizeTerm t) {
+      t.line = line;
+      for (long m = 0; m < multiplier; ++m) out.push_back(t);
+    };
+
+    if (sized.empty()) {
+      SizeTerm t;
+      t.kind = SizeTerm::Const;
+      t.value = multiplier;
+      multiplier = 1;
+      push(t);
+      continue;
+    }
+    if (sized.size() == 1) {
+      const std::string& f = sized[0];
+      if (f.compare(0, 7, "sizeof(") == 0 || f.compare(0, 7, "sizeof ") == 0) {
+        const std::size_t open = f.find('(');
+        if (open == std::string::npos) return false;
+        SizeTerm t;
+        t.kind = SizeTerm::Sizeof;
+        t.token = squeeze(trim(f.substr(open + 1, f.rfind(')') - open - 1)));
+        t.width = scalar_width(t.token);
+        push(t);
+        continue;
+      }
+      if (f.find(".encoded_size") != std::string::npos) {
+        SizeTerm t;
+        t.kind = SizeTerm::StructSize;
+        t.token = last_ident(f.substr(0, f.find(".encoded_size")));
+        push(t);
+        continue;
+      }
+      if (f.find(".size") != std::string::npos &&
+          f.find("::") == std::string::npos) {
+        SizeTerm t;
+        t.kind = SizeTerm::RawSize;
+        t.token = last_ident(f.substr(0, f.find(".size")));
+        push(t);
+        continue;
+      }
+      return false;
+    }
+    if (sized.size() == 2) {
+      // <size-expr> * sizeof(T)  |  <size-expr> * X::encoded_size()
+      std::string size_part, unit_part;
+      for (const auto& f : sized) {
+        if (f.find("sizeof") == 0 ||
+            f.find("::encoded_size") != std::string::npos)
+          unit_part = f;
+        else
+          size_part = f;
+      }
+      if (unit_part.empty() || size_part.empty()) return false;
+      // size_part: `f.size()` or `(a.size() + b.size())`
+      std::vector<std::string> vecs;
+      std::string sp = trim(size_part);
+      if (!sp.empty() && sp.front() == '(' && sp.back() == ')')
+        sp = sp.substr(1, sp.size() - 2);
+      std::size_t start = 0;
+      depth = 0;
+      for (std::size_t k = 0; k <= sp.size(); ++k) {
+        if (k == sp.size() || (sp[k] == '+' && depth == 0)) {
+          vecs.push_back(trim(sp.substr(start, k - start)));
+          start = k + 1;
+        } else if (sp[k] == '(') {
+          ++depth;
+        } else if (sp[k] == ')') {
+          --depth;
+        }
+      }
+      for (const auto& v : vecs) {
+        const std::size_t sz = v.find(".size");
+        if (sz == std::string::npos) return false;
+        SizeTerm t;
+        t.token = last_ident(v.substr(0, sz));
+        if (unit_part.find("::encoded_size") != std::string::npos) {
+          t.kind = SizeTerm::VecStructSize;
+          t.elem_type =
+              last_ident(unit_part.substr(0, unit_part.find("::encoded_size")));
+        } else {
+          t.kind = SizeTerm::VecBytes;
+          const std::size_t open = unit_part.find('(');
+          if (open == std::string::npos) return false;
+          t.elem_type = squeeze(trim(
+              unit_part.substr(open + 1, unit_part.rfind(')') - open - 1)));
+          t.width = scalar_width(t.elem_type);
+        }
+        push(t);
+      }
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool parse_size_body(const Flat& flat, std::size_t begin, std::size_t end,
+                     MsgStruct& ms) {
+  const std::string& s = flat.text;
+  ms.size_groups.clear();
+  ms.size_groups.push_back(SizeGroup{});
+  ms.size_groups[0].line = flat.line_of(begin);
+
+  std::size_t i = begin;
+  while (i < end) {
+    i = skip_ws(s, i);
+    if (i >= end) break;
+    if (!ident_char(s[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    const std::string id = next_ident(s, j);
+
+    if (id == "if") {
+      j = skip_ws(s, j);
+      if (j >= end || s[j] != '(') return false;
+      const std::size_t cclose = match_bracket(s, j);
+      if (cclose == std::string::npos || cclose > end) return false;
+      SizeGroup g;
+      g.cond = squeeze(trim(s.substr(j + 1, cclose - j - 2)));
+      g.line = flat.line_of(i);
+      std::size_t body = skip_ws(s, cclose);
+      std::size_t body_end;
+      if (body < end && s[body] == '{') {
+        body_end = match_bracket(s, body);
+        ++body;
+      } else {
+        body_end = s.find(';', body);
+        if (body_end != std::string::npos) ++body_end;
+      }
+      if (body_end == std::string::npos || body_end > end) return false;
+      // Statements inside: `n += EXPR;`
+      std::size_t p = body;
+      while (p < body_end) {
+        p = skip_ws(s, p);
+        const std::size_t e = s.find(';', p);
+        if (e == std::string::npos || e >= body_end) break;
+        const std::string stmt = s.substr(p, e - p);
+        const std::size_t pe = stmt.find("+=");
+        if (pe == std::string::npos) return false;
+        if (!parse_size_expr(flat, trim(stmt.substr(pe + 2)), p, g.terms))
+          return false;
+        p = e + 1;
+      }
+      ms.size_groups.push_back(std::move(g));
+      i = body_end;
+      continue;
+    }
+
+    // `std::size_t n = EXPR;` / `return EXPR;` / `n += EXPR;`
+    std::size_t stmt_end = s.find(';', i);
+    if (stmt_end == std::string::npos || stmt_end > end) return false;
+    std::string stmt = s.substr(i, stmt_end - i);
+    std::string expr;
+    if (id == "return") {
+      expr = trim(stmt.substr(stmt.find("return") + 6));
+      if (expr.empty() || expr == last_ident(expr)) {
+        // `return n;` — the accumulator: nothing to parse.
+        i = stmt_end + 1;
+        continue;
+      }
+    } else {
+      const std::size_t pe = stmt.find("+=");
+      const std::size_t eq =
+          pe != std::string::npos ? std::string::npos : stmt.find('=');
+      if (pe != std::string::npos) {
+        expr = trim(stmt.substr(pe + 2));
+      } else if (eq != std::string::npos) {
+        expr = trim(stmt.substr(eq + 1));
+      } else {
+        return false;
+      }
+    }
+    if (!parse_size_expr(flat, expr, i, ms.size_groups[0].terms))
+      return false;
+    i = stmt_end + 1;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Struct and member discovery
+// ---------------------------------------------------------------------------
+
+/// Parse field declarations at depth 0 of the struct body.
+void parse_fields(const Flat& flat, std::size_t begin, std::size_t end,
+                  MsgStruct& ms) {
+  const std::string& s = flat.text;
+  std::size_t i = begin;
+  std::string stmt;
+  std::size_t stmt_pos = begin;
+  bool discard = false;
+  while (i < end) {
+    const char c = s[i];
+    if (c == '{') {
+      const std::size_t close = match_bracket(s, i);
+      if (close == std::string::npos || close > end) return;
+      i = close;
+      stmt.clear();  // member function / nested type: not a field
+      discard = false;
+      stmt_pos = i;
+      continue;
+    }
+    if (c == ';') {
+      const std::string t = trim(stmt);
+      stmt.clear();
+      const std::size_t pos = stmt_pos;
+      stmt_pos = i + 1;
+      const bool skip = discard;
+      discard = false;
+      ++i;
+      if (skip || t.empty()) continue;
+      if (t.find('(') != std::string::npos) continue;  // fn decl
+      if (t.compare(0, 6, "using ") == 0 || t.compare(0, 7, "static ") == 0 ||
+          t.compare(0, 7, "friend ") == 0 ||
+          t.compare(0, 8, "typedef ") == 0 ||
+          find_ident(t, "constexpr") != std::string::npos)
+        continue;
+      std::string decl = t;
+      const std::size_t eq = decl.find('=');
+      if (eq != std::string::npos) decl = trim(decl.substr(0, eq));
+      if (decl.empty()) continue;
+      FieldDecl fd;
+      fd.name = last_ident(decl);
+      if (fd.name.empty() || fd.name == decl) continue;  // no type part
+      fd.type = squeeze(trim(decl.substr(0, decl.rfind(fd.name))));
+      while (!fd.type.empty() &&
+             (fd.type.back() == '&' || fd.type.back() == '*' ||
+              fd.type.back() == ' '))
+        fd.type.pop_back();
+      if (fd.type.empty()) continue;
+      fd.line = flat.line_of(pos);
+      const std::size_t vec = fd.type.find("vector");
+      if (vec != std::string::npos) {
+        fd.is_vector = true;
+        const std::size_t lt = fd.type.find('<', vec);
+        const std::size_t gt = fd.type.rfind('>');
+        if (lt != std::string::npos && gt != std::string::npos && gt > lt)
+          fd.elem = squeeze(trim(fd.type.substr(lt + 1, gt - lt - 1)));
+        fd.elem_width = scalar_width(fd.elem);
+      } else {
+        fd.width = scalar_width(fd.type);
+        if (fd.type == "Bytes" || fd.type == "sim::Bytes" ||
+            fd.type == "nowlb::Bytes" || fd.type == "std::string")
+          fd.width = 0;
+      }
+      ms.fields.push_back(std::move(fd));
+      continue;
+    }
+    stmt.push_back(c);
+    ++i;
+  }
+}
+
+/// Find a member function by name within [begin, end). `param_must` is a
+/// token the parameter list must contain ("" = none). On success fills
+/// (def_line, param_name, body_begin, body_end) and returns true.
+bool find_member_fn(const Flat& flat, std::size_t begin, std::size_t end,
+                    const std::string& name, const std::string& param_must,
+                    int& def_line, std::string& param_name,
+                    std::size_t& body_begin, std::size_t& body_end) {
+  const std::string& s = flat.text;
+  for (std::size_t pos = find_ident(s, name, begin);
+       pos != std::string::npos && pos < end;
+       pos = find_ident(s, name, pos + 1)) {
+    // Reject member access / qualified calls: `.name(`, `->name(`, `::name(`.
+    const std::size_t pv = prev_nonspace(s, pos);
+    if (pv != std::string::npos &&
+        (s[pv] == '.' || s[pv] == ':' ||
+         (s[pv] == '>' && pv > 0 && s[pv - 1] == '-')))
+      continue;
+    std::size_t i = skip_ws(s, pos + name.size());
+    if (i >= end || s[i] != '(') continue;
+    const std::size_t pclose = match_bracket(s, i);
+    if (pclose == std::string::npos || pclose > end) continue;
+    const std::string params = s.substr(i + 1, pclose - i - 2);
+    if (!param_must.empty() &&
+        params.find(param_must) == std::string::npos)
+      continue;
+    // Skip qualifiers to '{' (definition) or ';' (declaration / call).
+    std::size_t k = pclose;
+    while (k < end && s[k] != '{' && s[k] != ';') ++k;
+    if (k >= end || s[k] != '{') continue;
+    const std::size_t close = match_bracket(s, k);
+    if (close == std::string::npos || close > end) continue;
+    def_line = flat.line_of(pos);
+    param_name = last_ident(params);
+    body_begin = k + 1;
+    body_end = close - 1;
+    return true;
+  }
+  return false;
+}
+
+void scan_structs(const ScannedFile& f, const Flat& flat, ProtoModel& model) {
+  const std::string& s = flat.text;
+  for (std::size_t pos = find_ident(s, "struct"); pos != std::string::npos;
+       pos = find_ident(s, "struct", pos + 1)) {
+    std::size_t i = pos + 6;
+    const std::string name = next_ident(s, i);
+    if (name.empty()) continue;
+    // Find '{' before any ';' (else: forward declaration).
+    std::size_t k = i;
+    while (k < s.size() && s[k] != '{' && s[k] != ';') ++k;
+    if (k >= s.size() || s[k] != '{') continue;
+    const std::size_t close = match_bracket(s, k);
+    if (close == std::string::npos) continue;
+    const std::size_t body_begin = k + 1, body_end = close - 1;
+
+    MsgStruct ms;
+    ms.name = name;
+    ms.file = f.rel_path;
+    ms.line = flat.line_of(pos);
+    parse_fields(flat, body_begin, body_end, ms);
+
+    int line = 0;
+    std::string param;
+    std::size_t fb = 0, fe = 0;
+    if (find_member_fn(flat, body_begin, body_end, "encode", "Writer", line,
+                       param, fb, fe)) {
+      ms.has_encode = true;
+      ms.encode_line = line;
+      ms.encode_opaque = !parse_encode_body(flat, fb, fe, param, ms);
+    }
+    if (find_member_fn(flat, body_begin, body_end, "decode", "Reader", line,
+                       param, fb, fe)) {
+      ms.has_decode = true;
+      ms.decode_line = line;
+      ms.decode_opaque = !parse_decode_body(flat, fb, fe, param, ms);
+    }
+    if (find_member_fn(flat, body_begin, body_end, "encoded_size", "", line,
+                       param, fb, fe)) {
+      ms.has_size = true;
+      ms.size_line = line;
+      ms.size_opaque = !parse_size_body(flat, fb, fe, ms);
+    }
+    if (ms.has_encode || ms.has_decode || ms.has_size)
+      model.structs.push_back(std::move(ms));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trailer constants and tag flow
+// ---------------------------------------------------------------------------
+
+void scan_trailer_consts(const ScannedFile& f, ProtoModel& model) {
+  for (int li = 0; li < f.line_count(); ++li) {
+    const std::string& line = f.code[li];
+    if (find_ident(line, "constexpr") == std::string::npos) continue;
+    std::size_t i = 0;
+    for (;;) {
+      const std::string id = next_ident(line, i);
+      if (id.empty()) break;
+      if (!is_trailer_name(id)) continue;
+      TrailerConst tc;
+      tc.name = id;
+      tc.file = f.rel_path;
+      tc.line = li + 1;
+      const std::size_t eq = line.find('=', i);
+      if (eq != std::string::npos) {
+        std::size_t v = skip_ws(line, eq + 1);
+        long val = 0;
+        bool any = false;
+        while (v < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[v]))) {
+          val = val * 10 + (line[v] - '0');
+          ++v;
+          any = true;
+        }
+        if (any) tc.value = val;
+      }
+      model.trailers.push_back(std::move(tc));
+    }
+  }
+}
+
+/// All kTag* identifiers on a line.
+void extract_tags(const std::string& line, std::vector<std::string>& ids) {
+  std::size_t i = 0;
+  for (;;) {
+    const std::string id = next_ident(line, i);
+    if (id.empty()) break;
+    if (is_tag_name(id)) ids.push_back(id);
+  }
+}
+
+/// Classify one line's wire direction for tag-flow purposes.
+TagSite::Kind classify_tag_line(const std::string& line) {
+  // Receive side: a recv-family call, a comparison, or a switch case.
+  if (line.find("recv") != std::string::npos ||
+      line.find("==") != std::string::npos ||
+      line.find("!=") != std::string::npos ||
+      find_ident(line, "case") != std::string::npos)
+    return TagSite::Recv;
+  // Send side: a send/post call, or message construction `tag = kTagX`.
+  if (find_ident(line, "send") != std::string::npos ||
+      find_ident(line, "post") != std::string::npos)
+    return TagSite::Send;
+  const std::size_t tp = find_ident(line, "tag");
+  if (tp != std::string::npos) {
+    const std::size_t after = line.find_first_not_of(" \t", tp + 3);
+    if (after != std::string::npos && line[after] == '=' &&
+        (after + 1 >= line.size() || line[after + 1] != '='))
+      return TagSite::Send;
+  }
+  return TagSite::Other;
+}
+
+void scan_tags(const std::vector<ScannedFile>& files, ProtoModel& model) {
+  std::vector<TagDecl>& tags = model.tags;
+  auto find_tag = [&](const std::string& name) -> TagDecl* {
+    for (auto& t : tags)
+      if (t.name == name) return &t;
+    return nullptr;
+  };
+
+  // Pass 1: declarations — `constexpr ... Tag kTagX = ...`.
+  for (const auto& f : files) {
+    for (int li = 0; li < f.line_count(); ++li) {
+      const std::string& line = f.code[li];
+      if (find_ident(line, "constexpr") == std::string::npos) continue;
+      if (find_ident(line, "Tag") == std::string::npos) continue;
+      std::vector<std::string> ids;
+      extract_tags(line, ids);
+      for (const auto& id : ids) {
+        if (find_tag(id)) continue;
+        TagDecl t;
+        t.name = id;
+        t.file = f.rel_path;
+        t.line = li + 1;
+        tags.push_back(std::move(t));
+      }
+    }
+  }
+
+  // Pass 2: classified use sites. Physical lines are joined into
+  // paren-balanced logical statements first, so a tag on the continuation
+  // line of a multi-line `ctx.send(...)` call still classifies as a send.
+  // A line ending in '{' terminates the join (a lambda or function body
+  // is starting — its statements classify on their own), as does an
+  // 8-line window: both keep a multi-hundred-line lambda argument from
+  // collapsing into one statement.
+  for (const auto& f : files) {
+    int li = 0;
+    while (li < f.line_count()) {
+      const int stmt_begin = li;
+      std::string stmt = f.code[li];
+      int depth = 0;
+      auto count = [&depth](const std::string& line) {
+        for (char c : line) {
+          if (c == '(') ++depth;
+          if (c == ')') --depth;
+        }
+      };
+      auto opens_block = [](const std::string& line) {
+        const auto last = line.find_last_not_of(" \t");
+        return last != std::string::npos && line[last] == '{';
+      };
+      count(stmt);
+      while (depth > 0 && li + 1 < f.line_count() &&
+             li - stmt_begin < 8 && !opens_block(f.code[li])) {
+        ++li;
+        stmt += ' ';
+        stmt += f.code[li];
+        count(f.code[li]);
+      }
+      const int stmt_end = li;
+      ++li;
+
+      std::vector<std::string> ids;
+      extract_tags(stmt, ids);
+      if (ids.empty()) continue;
+      const TagSite::Kind kind = classify_tag_line(stmt);
+      // Anchor each tag at the physical line that names it.
+      for (int pl = stmt_begin; pl <= stmt_end; ++pl) {
+        std::vector<std::string> line_ids;
+        extract_tags(f.code[pl], line_ids);
+        for (const auto& id : line_ids) {
+          TagDecl* t = find_tag(id);
+          if (!t) continue;
+          if (t->file == f.rel_path && t->line == pl + 1) continue;  // decl
+          TagSite site;
+          site.file = f.rel_path;
+          site.line = pl + 1;
+          site.kind = kind;
+          t->sites.push_back(site);
+        }
+      }
+    }
+  }
+  std::sort(tags.begin(), tags.end(),
+            [](const TagDecl& a, const TagDecl& b) { return a.name < b.name; });
+}
+
+}  // namespace
+
+ProtoModel build_proto_model(const std::vector<ScannedFile>& files) {
+  ProtoModel model;
+  for (const auto& f : files) {
+    const Flat flat(f);
+    scan_structs(f, flat, model);
+    scan_trailer_consts(f, model);
+  }
+  scan_tags(files, model);
+  return model;
+}
+
+}  // namespace nowlb::analyze

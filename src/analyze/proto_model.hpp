@@ -1,0 +1,168 @@
+// AST-lite protocol model for nowlb-lint's wire-contract rules.
+//
+// The lexer (lex.hpp) blanks everything that is not code; this layer walks
+// the blanked lines and reconstructs just enough structure to verify the
+// wire protocol: message structs with their `encode(msg::Writer&)` /
+// `static decode(msg::Reader&)` / `encoded_size()` triples, the ordered
+// field-operation sequences inside each body (including vector loops,
+// nested struct encode/decode and marker-byte trailer groups), the
+// `kTrailer*` marker constants, and the cross-module send/recv sites of
+// every `kTag*` constant.
+//
+// It is deliberately not a C++ parser. Bodies it cannot understand are
+// marked opaque and excluded from symmetry checking rather than guessed
+// at; the seeded-mutation smoke (scripts/lint_mutation_check.sh) proves
+// the parts it does understand keep firing. DESIGN.md §14 records the
+// exact subset of C++ the extractor accepts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/lex.hpp"
+
+namespace nowlb::analyze {
+
+/// One wire operation extracted from an encode or decode body.
+struct WireOp {
+  enum Kind {
+    Scalar,     // w.put(field) / s.field = r.get<T>()
+    Count,      // w.put<T>(x.size()) / local = r.get<T>() feeding a loop
+    Vec,        // w.put_vec(field) / s.field = r.get_vec<T>()
+    Bytes,      // w.put_bytes(field) / s.field = r.get_bytes()
+    Struct,     // field.encode(w) / s.field = X::decode(r)
+    VecStruct,  // for (e : field) e.encode(w) / loop of X::decode(r)
+    Marker,     // w.put(kTrailerX) — encode side only
+  };
+  Kind kind = Scalar;
+  std::string field;        // field or marker-constant name
+  std::string type_token;   // explicit <T> where present, else decl type
+  int width = 0;            // bytes; 0 = unknown
+  std::string elem_struct;  // Struct/VecStruct: nested struct name
+  int line = 0;             // 1-based, in the declaring file
+};
+
+/// A run of ops under one condition. `cond.empty()` is the unconditional
+/// prefix; otherwise the `if (<cond>)` text ("ft", "causal"). On the
+/// decode side trailer branches carry the marker constant instead.
+struct OpGroup {
+  std::string cond;
+  std::string marker;  // decode trailer branch / encode leading marker
+  std::vector<WireOp> ops;
+  int line = 0;
+};
+
+/// One additive term of an encoded_size() expression, normalized:
+/// `2 * sizeof(T)` becomes two Sizeof terms, `(a.size() + b.size()) *
+/// sizeof(T)` becomes two VecBytes terms.
+struct SizeTerm {
+  enum Kind {
+    Sizeof,         // sizeof(field-or-type-or-marker)
+    VecBytes,       // field.size() * sizeof(T)
+    VecStructSize,  // field.size() * X::encoded_size()
+    StructSize,     // field.encoded_size()
+    RawSize,        // field.size() alone (raw byte payload)
+    Const,          // integer literal
+  };
+  Kind kind = Sizeof;
+  std::string token;      // sizeof argument / vector field / struct field
+  std::string elem_type;  // VecBytes element type token
+  int width = 0;          // Sizeof: resolved byte width (0 = unknown)
+  long value = 0;         // Const
+  int line = 0;
+};
+
+struct SizeGroup {
+  std::string cond;  // "" = unconditional
+  std::vector<SizeTerm> terms;
+  int line = 0;
+};
+
+/// A data member of a message struct.
+struct FieldDecl {
+  std::string name;
+  std::string type;       // full declared type text, normalized spacing
+  int width = 0;          // scalar byte width; 0 = unknown/aggregate
+  bool is_vector = false;
+  std::string elem;       // vector element type token
+  int elem_width = 0;     // 0 when the element is a struct
+  int line = 0;
+};
+
+/// A struct that participates in the wire contract: it defines at least
+/// one of encode / decode / encoded_size.
+struct MsgStruct {
+  std::string name;
+  std::string file;  // rel_path of the declaring file
+  int line = 0;
+
+  std::vector<FieldDecl> fields;
+
+  bool has_encode = false, has_decode = false, has_size = false;
+  int encode_line = 0, decode_line = 0, size_line = 0;
+  /// A body the extractor could not fully parse; symmetry checks skip it.
+  bool encode_opaque = false, decode_opaque = false, size_opaque = false;
+
+  /// Encode groups in emission order: [0] unconditional, then one group
+  /// per `if (...)` block. Decode groups: [0] the unconditional prefix,
+  /// then one group per trailer-marker branch.
+  std::vector<OpGroup> encode_groups;
+  std::vector<OpGroup> decode_groups;
+  bool decode_has_trailer_loop = false;
+  /// The trailer loop ends in an `else` (unknown markers rejected).
+  bool decode_trailer_has_else = false;
+
+  std::vector<SizeGroup> size_groups;
+
+  const FieldDecl* field(const std::string& n) const {
+    for (const auto& f : fields)
+      if (f.name == n) return &f;
+    return nullptr;
+  }
+};
+
+/// A `kTrailer*` marker-byte constant.
+struct TrailerConst {
+  std::string name;
+  long value = -1;  // -1: initializer not a literal
+  std::string file;
+  int line = 0;
+};
+
+/// One reference to a kTag* constant, classified by wire direction.
+struct TagSite {
+  enum Kind {
+    Send,   // send/post call, or `tag = kTagX` message construction
+    Recv,   // recv*/try_recv/case/== or != comparison
+    Other,  // any other mention (reliable-tag lists, fault windows, ...)
+  };
+  Kind kind = Other;
+  std::string file;
+  int line = 0;
+};
+
+struct TagDecl {
+  std::string name;
+  std::string file;  // declaring file
+  int line = 0;
+  std::vector<TagSite> sites;
+};
+
+struct ProtoModel {
+  std::vector<MsgStruct> structs;    // in (file, line) order
+  std::vector<TrailerConst> trailers;
+  std::vector<TagDecl> tags;         // sorted by name
+};
+
+/// Extract the protocol model from the scanned tree. Pure function of the
+/// blanked sources; never throws on weird code — it degrades to opaque.
+ProtoModel build_proto_model(const std::vector<ScannedFile>& files);
+
+/// Byte width of a scalar type token ("std::int32_t", "double", ...).
+/// 0 when unknown (user-defined types).
+int scalar_width(const std::string& type_token);
+
+/// Human-readable op description for findings ("field 'round' (4 bytes)").
+std::string describe_op(const WireOp& op);
+
+}  // namespace nowlb::analyze

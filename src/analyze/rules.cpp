@@ -27,8 +27,32 @@ const std::vector<Rule> kCatalog = {
      "wire the tag into a handler dispatch or delete it"},
     {"P002", kRuleTagNoRecv,
      "add a receive-side dispatch (recv/try_recv/==/case) or delete the tag"},
+    {"W001", kRuleWireSymmetry,
+     "make decode() read exactly the fields encode() writes, in the same "
+     "order and with the same widths"},
+    {"W002", kRuleWireSize,
+     "make encoded_size() sum exactly one term per encoded field (see "
+     "DESIGN.md §14 for the term grammar)"},
+    {"W003", kRuleWireOnesided,
+     "give the struct the missing half of the encode/decode pair, or drop "
+     "it from the wire"},
+    {"T001", kRuleTrailerMarker,
+     "give every kTrailer* constant a distinct marker byte"},
+    {"T002", kRuleTrailerCase,
+     "every trailer an encoder appends needs a matching marker branch in "
+     "the paired decode loop, and vice versa"},
+    {"T003", kRuleTrailerOrder,
+     "emit trailers in the same relative order in every encoder so decode "
+     "loops can rely on one composition order"},
+    {"F001", kRuleTagNoOrigin,
+     "add a send site for the tag or delete the receive-side dispatch"},
+    {"F002", kRuleTagAsym,
+     "a tag sent inside an endpoint pair must be received inside the same "
+     "pair; fix the missing half or NOLINT with the asymmetry's reason"},
     {"S001", kRuleNolint,
      "write // NOLINT(nowlb-<rule>: <reason>) — the reason is mandatory"},
+    {"S002", kRuleNolintStale,
+     "this suppression no longer suppresses any finding; delete it"},
 };
 // clang-format on
 
@@ -54,7 +78,9 @@ const TokenBan kWallclock[] = {
     {"clock_gettime", "clock_gettime()", false},
     {"timespec_get", "timespec_get()", false},
     {"localtime", "localtime()", false},
+    {"localtime_r", "localtime_r()", false},
     {"gmtime", "gmtime()", false},
+    {"gmtime_r", "gmtime_r()", false},
     {"time", "time()", true},
     {"clock", "clock()", true},
 };
@@ -126,6 +152,10 @@ RuleConfig default_config() {
       {"apps", 7}, {"exp", 8},  {"check", 8}, {"analyze", 9},
       {"perf", 9},
   };
+  // F002: the master/slave conversation of the generated protocol. A tag
+  // one of these files sends must be received by one of them (self-loops
+  // like slave->slave kTagMove count).
+  cfg.endpoint_pairs = {{"lb/master.cpp", "lb/slave.cpp"}};
   return cfg;
 }
 
@@ -154,100 +184,6 @@ void run_determinism_rules(const ScannedFile& f, const RuleConfig& cfg,
         fd.key = std::string(tok) + "#" + std::to_string(++occurrence[tok]);
         out.push_back(std::move(fd));
       }
-    }
-  }
-}
-
-void run_protocol_rules(const std::vector<ScannedFile>& files,
-                        std::vector<Finding>& out) {
-  struct TagInfo {
-    std::string file;
-    int line = 0;
-    int uses = 0;       // references outside the declaring line
-    int recv_uses = 0;  // of those, receive-side dispatch references
-  };
-  std::map<std::string, TagInfo> tags;
-
-  auto is_tag_name = [](const std::string& id) {
-    return id.size() > 4 && id.compare(0, 4, "kTag") == 0 &&
-           std::isupper(static_cast<unsigned char>(id[4]));
-  };
-  // Collect identifiers starting with kTag on one line.
-  auto extract_idents = [&](const std::string& line,
-                            std::vector<std::string>& ids) {
-    for (std::size_t i = 0; i < line.size();) {
-      if (line.compare(i, 4, "kTag") == 0 &&
-          (i == 0 || !(std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
-                       line[i - 1] == '_'))) {
-        std::size_t j = i;
-        while (j < line.size() &&
-               (std::isalnum(static_cast<unsigned char>(line[j])) ||
-                line[j] == '_'))
-          ++j;
-        ids.push_back(line.substr(i, j - i));
-        i = j;
-      } else {
-        ++i;
-      }
-    }
-  };
-
-  // Pass 1: declarations — `constexpr ... Tag kTagX = ...`.
-  for (const auto& f : files) {
-    for (int li = 0; li < f.line_count(); ++li) {
-      const std::string& line = f.code[li];
-      if (find_ident(line, "constexpr") == std::string::npos) continue;
-      if (find_ident(line, "Tag") == std::string::npos) continue;
-      std::vector<std::string> ids;
-      extract_idents(line, ids);
-      for (const auto& id : ids) {
-        if (!is_tag_name(id) || tags.count(id)) continue;
-        tags[id] = TagInfo{f.rel_path, li + 1, 0, 0};
-      }
-    }
-  }
-
-  // Pass 2: uses. A receive-side use mentions a recv primitive, a tag
-  // comparison, or a switch case on the same line.
-  for (const auto& f : files) {
-    for (int li = 0; li < f.line_count(); ++li) {
-      const std::string& line = f.code[li];
-      std::vector<std::string> ids;
-      extract_idents(line, ids);
-      for (const auto& id : ids) {
-        auto it = tags.find(id);
-        if (it == tags.end()) continue;
-        if (it->second.file == f.rel_path && it->second.line == li + 1)
-          continue;  // the declaration itself
-        ++it->second.uses;
-        const bool recvish =
-            line.find("recv") != std::string::npos ||
-            line.find("==") != std::string::npos ||
-            line.find("!=") != std::string::npos ||
-            find_ident(line, "case") != std::string::npos;
-        if (recvish) ++it->second.recv_uses;
-      }
-    }
-  }
-
-  for (const auto& [name, info] : tags) {
-    if (info.uses == 0) {
-      Finding fd;
-      fd.rule = rule(kRuleTagUnhandled);
-      fd.rel_path = info.file;
-      fd.line = info.line;
-      fd.message = "message tag " + name + " is declared but never dispatched";
-      fd.key = name;
-      out.push_back(std::move(fd));
-    } else if (info.recv_uses == 0) {
-      Finding fd;
-      fd.rule = rule(kRuleTagNoRecv);
-      fd.rel_path = info.file;
-      fd.line = info.line;
-      fd.message = "message tag " + name +
-                   " is sent but never examined on the receive side";
-      fd.key = name;
-      out.push_back(std::move(fd));
     }
   }
 }

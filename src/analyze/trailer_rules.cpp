@@ -1,0 +1,182 @@
+// T-rules: marker-byte trailer composition.
+//
+//   T001 — every kTrailer* constant carries a distinct marker byte; a
+//          collision makes one trailer undecodable.
+//   T002 — trailer pairing per struct: every trailer an encoder appends
+//          has a marker branch in the paired decode loop and vice versa;
+//          the loop rejects unknown markers; conditional encode groups
+//          lead with a marker so the decoder can detect them at all.
+//   T003 — trailers are emitted in one consistent relative order across
+//          all encoders, so a decode loop written against one composition
+//          order keeps working for every message type.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/proto_model.hpp"
+#include "analyze/rules.hpp"
+
+namespace nowlb::analyze {
+
+namespace {
+
+Finding make(const Rule* r, std::string file, int line, std::string key,
+             std::string message) {
+  Finding fd;
+  fd.rule = r;
+  fd.rel_path = std::move(file);
+  fd.line = line;
+  fd.key = std::move(key);
+  fd.message = std::move(message);
+  return fd;
+}
+
+/// Encode-side trailer markers of one struct, in emission order.
+std::vector<const OpGroup*> encode_trailers(const MsgStruct& ms) {
+  std::vector<const OpGroup*> out;
+  for (std::size_t i = 1; i < ms.encode_groups.size(); ++i)
+    if (!ms.encode_groups[i].marker.empty())
+      out.push_back(&ms.encode_groups[i]);
+  return out;
+}
+
+std::vector<const OpGroup*> decode_trailers(const MsgStruct& ms) {
+  std::vector<const OpGroup*> out;
+  for (std::size_t i = 1; i < ms.decode_groups.size(); ++i)
+    if (!ms.decode_groups[i].marker.empty())
+      out.push_back(&ms.decode_groups[i]);
+  return out;
+}
+
+void check_t001(const ProtoModel& model, const Rule* t001,
+                std::vector<Finding>& out) {
+  std::map<long, const TrailerConst*> by_value;
+  for (const TrailerConst& tc : model.trailers) {
+    if (tc.value < 0) continue;  // non-literal initializer: can't compare
+    const auto [it, fresh] = by_value.emplace(tc.value, &tc);
+    if (fresh || it->second->name == tc.name) continue;
+    out.push_back(make(
+        t001, tc.file, tc.line, tc.name,
+        "trailer marker " + tc.name + " = " + std::to_string(tc.value) +
+            " collides with " + it->second->name + " (" + it->second->file +
+            ":" + std::to_string(it->second->line) + ")"));
+  }
+}
+
+void check_t002(const MsgStruct& ms, const Rule* t002,
+                std::vector<Finding>& out) {
+  const auto enc = encode_trailers(ms);
+  const auto dec = decode_trailers(ms);
+
+  // Conditional encode groups must lead with a marker byte — otherwise
+  // the payload is invisible to a marker-dispatch decoder.
+  for (std::size_t i = 1; i < ms.encode_groups.size(); ++i) {
+    const OpGroup& g = ms.encode_groups[i];
+    if (g.marker.empty() && !g.ops.empty()) {
+      out.push_back(make(
+          t002, ms.file, g.line, ms.name + "#nomarker#" + g.cond,
+          ms.name + "::encode() branch `if (" + g.cond +
+              ")` appends wire data without a leading kTrailer* marker "
+              "byte — the decode loop cannot detect it"));
+    }
+  }
+
+  if (!enc.empty() && !ms.decode_has_trailer_loop && !ms.decode_opaque) {
+    out.push_back(make(
+        t002, ms.file, ms.decode_line, ms.name + "#noloop",
+        ms.name + "::decode() has no trailer loop, but encode() appends " +
+            std::to_string(enc.size()) + " trailer(s) starting with " +
+            enc.front()->marker));
+    return;  // everything below would cascade
+  }
+
+  for (const OpGroup* eg : enc) {
+    const bool matched =
+        std::any_of(dec.begin(), dec.end(), [&](const OpGroup* dg) {
+          return dg->marker == eg->marker;
+        });
+    if (!matched)
+      out.push_back(make(
+          t002, ms.file, eg->line, ms.name + "#enc#" + eg->marker,
+          ms.name + "::encode() appends trailer " + eg->marker +
+              " but decode() has no marker branch for it"));
+  }
+  for (const OpGroup* dg : dec) {
+    const bool matched =
+        std::any_of(enc.begin(), enc.end(), [&](const OpGroup* eg) {
+          return eg->marker == dg->marker;
+        });
+    if (!matched && !ms.encode_opaque)
+      out.push_back(make(
+          t002, ms.file, dg->line, ms.name + "#dec#" + dg->marker,
+          ms.name + "::decode() handles trailer " + dg->marker +
+              " that encode() never appends"));
+  }
+
+  if (ms.decode_has_trailer_loop && !ms.decode_trailer_has_else)
+    out.push_back(make(
+        t002, ms.file, ms.decode_line, ms.name + "#noelse",
+        ms.name + "::decode() trailer loop silently ignores unknown "
+        "markers — add a rejecting else branch"));
+}
+
+void check_t003(const ProtoModel& model, const Rule* t003,
+                std::vector<Finding>& out) {
+  // Pairwise orientation of markers across every encoder: marker pair
+  // (a, b) with a emitted before b in one struct and after it in another
+  // is a composition-order conflict.
+  struct Orientation {
+    const MsgStruct* ms;
+    int line;
+  };
+  std::map<std::pair<std::string, std::string>, Orientation> seen;
+  for (const MsgStruct& ms : model.structs) {
+    if (ms.encode_opaque) continue;
+    const auto enc = encode_trailers(ms);
+    for (std::size_t i = 0; i < enc.size(); ++i) {
+      for (std::size_t j = i + 1; j < enc.size(); ++j) {
+        std::string a = enc[i]->marker, b = enc[j]->marker;
+        int line = enc[j]->line;
+        const bool flipped = a > b;
+        if (flipped) std::swap(a, b);
+        // Key is the sorted pair; orientation is recorded by who is
+        // first. A second struct disagreeing on that orientation fires.
+        auto it = seen.find({a, b});
+        if (it == seen.end()) {
+          seen.emplace(std::make_pair(a, b),
+                       Orientation{&ms, flipped ? -line : line});
+          continue;
+        }
+        const bool prev_flipped = it->second.line < 0;
+        if (prev_flipped != flipped) {
+          out.push_back(make(
+              t003, ms.file, line, ms.name + "#" + a + "#" + b,
+              ms.name + "::encode() emits trailers " + enc[i]->marker +
+                  " then " + enc[j]->marker + ", but " + it->second.ms->name +
+                  "::encode() (" + it->second.ms->file + ":" +
+                  std::to_string(std::abs(it->second.line)) +
+                  ") uses the opposite order"));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_trailer_rules(const ProtoModel& model, std::vector<Finding>& out) {
+  const Rule* t001 = rule_by_name(kRuleTrailerMarker);
+  const Rule* t002 = rule_by_name(kRuleTrailerCase);
+  const Rule* t003 = rule_by_name(kRuleTrailerOrder);
+
+  check_t001(model, t001, out);
+  for (const MsgStruct& ms : model.structs) {
+    if (!ms.has_encode || !ms.has_decode) continue;
+    if (ms.encode_opaque) continue;
+    check_t002(ms, t002, out);
+  }
+  check_t003(model, t003, out);
+}
+
+}  // namespace nowlb::analyze

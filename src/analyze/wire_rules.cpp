@@ -1,0 +1,315 @@
+// W-rules: per-struct wire symmetry.
+//
+//   W001 — encode() and decode() must perform the same ordered field
+//          operations (kind, name, width), unconditional prefix and each
+//          trailer group separately.
+//   W002 — encoded_size() must account for every encoded field exactly
+//          once, group by group.
+//   W003 — a struct with only one half of the encode/decode pair is a
+//          latent wire hazard.
+//
+// Opaque bodies (constructs outside the AST-lite grammar, DESIGN.md §14)
+// are skipped: absence of findings there is explicitly not a proof.
+#include <string>
+#include <vector>
+
+#include "analyze/proto_model.hpp"
+#include "analyze/rules.hpp"
+
+namespace nowlb::analyze {
+
+namespace {
+
+/// Trailing identifier of a token ("std::uint64_t" -> "uint64_t",
+/// "s.inventory" -> "inventory") for name-based term matching.
+std::string last_ident_of(const std::string& s) {
+  auto ident = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  std::size_t end = s.size();
+  while (end > 0 && !ident(s[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+Finding make(const Rule* r, const MsgStruct& ms, int line, std::string key,
+             std::string message) {
+  Finding fd;
+  fd.rule = r;
+  fd.rel_path = ms.file;
+  fd.line = line;
+  fd.key = std::move(key);
+  fd.message = std::move(message);
+  return fd;
+}
+
+/// Do an encode-side op and a decode-side op perform the same wire
+/// operation? Count ops match on width only (the decode side binds a
+/// local, so the names legitimately differ).
+bool ops_match(const WireOp& e, const WireOp& d) {
+  if (e.kind != d.kind) return false;
+  switch (e.kind) {
+    case WireOp::Count:
+      return e.width == 0 || d.width == 0 || e.width == d.width;
+    case WireOp::Scalar:
+      if (e.field != d.field) return false;
+      return e.width == 0 || d.width == 0 || e.width == d.width;
+    case WireOp::Vec:
+      if (e.field != d.field) return false;
+      return e.width == 0 || d.width == 0 || e.width == d.width;
+    case WireOp::Bytes:
+      return e.field == d.field;
+    case WireOp::Struct:
+    case WireOp::VecStruct:
+      if (e.field != d.field) return false;
+      return e.elem_struct.empty() || d.elem_struct.empty() ||
+             e.elem_struct == d.elem_struct;
+    case WireOp::Marker:
+      return e.field == d.field;
+  }
+  return false;
+}
+
+/// Compare one encode group against one decode group positionally.
+/// Returns true if a finding was emitted (callers stop at the first
+/// mismatch per struct to avoid cascades from a single insertion).
+bool compare_groups(const MsgStruct& ms, const Rule* w001,
+                    const std::vector<WireOp>& enc,
+                    const std::vector<WireOp>& dec, const std::string& what,
+                    int enc_line, std::vector<Finding>& out) {
+  const std::size_t n = std::min(enc.size(), dec.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops_match(enc[i], dec[i])) continue;
+    out.push_back(make(
+        w001, ms, enc[i].line, ms.name + "#" + what + "#" + enc[i].field,
+        ms.name + " " + what + " op " + std::to_string(i + 1) +
+            ": encode writes " + describe_op(enc[i]) + " but decode reads " +
+            describe_op(dec[i]) + " (decode at line " +
+            std::to_string(dec[i].line) + ")"));
+    return true;
+  }
+  if (enc.size() != dec.size()) {
+    const bool enc_longer = enc.size() > dec.size();
+    const WireOp& extra = enc_longer ? enc[n] : dec[n];
+    out.push_back(make(
+        w001, ms, extra.line, ms.name + "#" + what + "#" + extra.field,
+        ms.name + " " + what + ": encode performs " +
+            std::to_string(enc.size()) + " wire ops but decode performs " +
+            std::to_string(dec.size()) + "; first unmatched is " +
+            describe_op(extra) + " on the " +
+            (enc_longer ? "encode" : "decode") + " side"));
+    return true;
+  }
+  (void)enc_line;
+  return false;
+}
+
+/// Strip the leading marker put from an encode trailer group: the decode
+/// branch reads the marker in the loop header, so only the payload ops
+/// are compared.
+std::vector<WireOp> payload_of(const OpGroup& g) {
+  std::vector<WireOp> ops = g.ops;
+  if (!ops.empty() && ops.front().kind == WireOp::Marker)
+    ops.erase(ops.begin());
+  return ops;
+}
+
+void check_symmetry(const MsgStruct& ms, const Rule* w001,
+                    std::vector<Finding>& out) {
+  // Unconditional prefix.
+  if (compare_groups(ms, w001, ms.encode_groups[0].ops,
+                     ms.decode_groups[0].ops, "body",
+                     ms.encode_groups[0].line, out))
+    return;
+  // Trailer groups, paired by marker. Unpaired markers are T002's
+  // finding, not W001's.
+  for (std::size_t gi = 1; gi < ms.encode_groups.size(); ++gi) {
+    const OpGroup& eg = ms.encode_groups[gi];
+    if (eg.marker.empty()) continue;
+    for (std::size_t di = 1; di < ms.decode_groups.size(); ++di) {
+      const OpGroup& dg = ms.decode_groups[di];
+      if (dg.marker != eg.marker) continue;
+      if (compare_groups(ms, w001, payload_of(eg), dg.ops,
+                         "trailer " + eg.marker, eg.line, out))
+        return;
+      break;
+    }
+  }
+}
+
+std::string describe_term(const SizeTerm& t) {
+  switch (t.kind) {
+    case SizeTerm::Sizeof:
+      return "sizeof(" + t.token + ")";
+    case SizeTerm::VecBytes:
+      return t.token + ".size() * sizeof(" + t.elem_type + ")";
+    case SizeTerm::VecStructSize:
+      return t.token + ".size() * " + t.elem_type + "::encoded_size()";
+    case SizeTerm::StructSize:
+      return t.token + ".encoded_size()";
+    case SizeTerm::RawSize:
+      return t.token + ".size()";
+    case SizeTerm::Const:
+      return "constant " + std::to_string(t.value);
+  }
+  return "?";
+}
+
+/// Greedy matcher: consume the size terms an op accounts for. Returns
+/// false when the terms cannot cover the op.
+bool consume_terms(const MsgStruct& ms, const WireOp& op,
+                   const std::vector<SizeTerm>& terms,
+                   std::vector<bool>& used) {
+  auto take = [&](auto&& pred) {
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (!used[i] && pred(terms[i])) {
+        used[i] = true;
+        return true;
+      }
+    }
+    return false;
+  };
+  auto take_sizeof_for = [&](const std::string& field, int width) {
+    // Priority: sizeof(field) > sizeof(<its declared type>) > any
+    // width-equal sizeof > a bare integer constant of that width.
+    if (take([&](const SizeTerm& t) {
+          return t.kind == SizeTerm::Sizeof && last_ident_of(t.token) == field;
+        }))
+      return true;
+    const FieldDecl* fdcl = ms.field(field);
+    if (fdcl && take([&](const SizeTerm& t) {
+          return t.kind == SizeTerm::Sizeof && t.token == fdcl->type;
+        }))
+      return true;
+    if (width > 0 && take([&](const SizeTerm& t) {
+          return t.kind == SizeTerm::Sizeof && t.width == width;
+        }))
+      return true;
+    return width > 0 && take([&](const SizeTerm& t) {
+             return t.kind == SizeTerm::Const && t.value == width;
+           });
+  };
+
+  switch (op.kind) {
+    case WireOp::Scalar:
+    case WireOp::Count:
+      return take_sizeof_for(op.field, op.width);
+    case WireOp::Vec:
+      // uint64 count prefix + element payload.
+      if (!take([&](const SizeTerm& t) {
+            return t.kind == SizeTerm::Sizeof && t.width == 8;
+          }))
+        return false;
+      return take([&](const SizeTerm& t) {
+        return t.kind == SizeTerm::VecBytes &&
+               last_ident_of(t.token) == op.field;
+      });
+    case WireOp::Bytes:
+      if (!take([&](const SizeTerm& t) {
+            return t.kind == SizeTerm::Sizeof && t.width == 8;
+          }))
+        return false;
+      return take([&](const SizeTerm& t) {
+        return t.kind == SizeTerm::RawSize &&
+               last_ident_of(t.token) == op.field;
+      });
+    case WireOp::Struct:
+      return take([&](const SizeTerm& t) {
+        return t.kind == SizeTerm::StructSize &&
+               last_ident_of(t.token) == op.field;
+      });
+    case WireOp::VecStruct:
+      return take([&](const SizeTerm& t) {
+        return t.kind == SizeTerm::VecStructSize &&
+               last_ident_of(t.token) == op.field;
+      });
+    case WireOp::Marker:
+      return take([&](const SizeTerm& t) {
+               return t.kind == SizeTerm::Sizeof &&
+                      last_ident_of(t.token) == op.field;
+             }) ||
+             take([&](const SizeTerm& t) {
+               return t.kind == SizeTerm::Sizeof && t.width == 1;
+             }) ||
+             take([&](const SizeTerm& t) {
+               return t.kind == SizeTerm::Const && t.value == 1;
+             });
+  }
+  return false;
+}
+
+void check_size(const MsgStruct& ms, const Rule* w002,
+                std::vector<Finding>& out) {
+  // Pair encode groups with size groups by condition text ("" pairs with
+  // the unconditional group). An encode group whose condition has no size
+  // group at all is reported against the encoded_size definition.
+  for (const OpGroup& eg : ms.encode_groups) {
+    const SizeGroup* sg = nullptr;
+    for (const auto& g : ms.size_groups)
+      if (g.cond == eg.cond) {
+        sg = &g;
+        break;
+      }
+    if (!sg) {
+      if (eg.ops.empty()) continue;
+      out.push_back(make(
+          w002, ms, ms.size_line, ms.name + "#group#" + eg.cond,
+          ms.name + "::encoded_size() has no term group for the encode "
+          "branch `if (" + eg.cond + ")` (encode at line " +
+              std::to_string(eg.line) + ")"));
+      continue;
+    }
+    std::vector<bool> used(sg->terms.size(), false);
+    bool reported = false;
+    for (const WireOp& op : eg.ops) {
+      if (consume_terms(ms, op, sg->terms, used)) continue;
+      out.push_back(make(
+          w002, ms, ms.size_line, ms.name + "#omit#" + op.field,
+          ms.name + "::encoded_size() omits " + describe_op(op) +
+              " (encoded at line " + std::to_string(op.line) + ")"));
+      reported = true;
+      break;  // one finding per group: later misses are usually cascade
+    }
+    if (reported) continue;
+    for (std::size_t i = 0; i < sg->terms.size(); ++i) {
+      if (used[i]) continue;
+      out.push_back(make(
+          w002, ms, sg->terms[i].line, ms.name + "#extra#" + sg->terms[i].token,
+          ms.name + "::encoded_size() counts " + describe_term(sg->terms[i]) +
+              " which no encode op in the " +
+              (eg.cond.empty() ? std::string("unconditional")
+                               : "`if (" + eg.cond + ")`") +
+              " group produces"));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void run_wire_rules(const ProtoModel& model, std::vector<Finding>& out) {
+  const Rule* w001 = rule_by_name(kRuleWireSymmetry);
+  const Rule* w002 = rule_by_name(kRuleWireSize);
+  const Rule* w003 = rule_by_name(kRuleWireOnesided);
+
+  for (const MsgStruct& ms : model.structs) {
+    if (ms.has_encode != ms.has_decode) {
+      out.push_back(make(
+          w003, ms, ms.line, ms.name,
+          ms.name + " defines " +
+              (ms.has_encode ? "encode() but no decode()"
+                             : "decode() but no encode()") +
+              " — one-sided wire contract"));
+      continue;
+    }
+    if (!ms.has_encode) continue;  // size-only helper: nothing to compare
+    if (!ms.encode_opaque && !ms.decode_opaque)
+      check_symmetry(ms, w001, out);
+    if (ms.has_size && !ms.encode_opaque && !ms.size_opaque)
+      check_size(ms, w002, out);
+  }
+}
+
+}  // namespace nowlb::analyze

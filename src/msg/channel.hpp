@@ -6,7 +6,7 @@
 
 #include "msg/serialize.hpp"
 #include "sim/context.hpp"
-#include "sim/task.hpp"
+#include "util/task.hpp"
 
 namespace nowlb::msg {
 
@@ -14,7 +14,7 @@ using sim::Context;
 using sim::Message;
 using sim::Pid;
 using sim::Tag;
-using sim::Task;
+using nowlb::Task;
 
 /// Encode `value` and send it to `dst` with `tag`.
 template <Encodable T>

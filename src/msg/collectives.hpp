@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "sim/context.hpp"
-#include "sim/task.hpp"
+#include "util/task.hpp"
 
 namespace nowlb::msg {
 

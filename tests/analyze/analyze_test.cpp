@@ -11,6 +11,7 @@
 
 #include "analyze/lex.hpp"
 #include "analyze/lint.hpp"
+#include "analyze/proto_model.hpp"
 #include "analyze/rules.hpp"
 
 namespace fs = std::filesystem;
@@ -83,7 +84,7 @@ TEST(Rules, FixtureGoldenOutput) {
   opts.root = fixture_root();
   opts.label = "src";
   const LintResult res = run_lint(opts);
-  EXPECT_EQ(res.files_scanned, 8);
+  EXPECT_EQ(res.files_scanned, 14);
   const std::string got = format_findings(res.fresh, "src");
   const std::string want =
       read_file(std::string(NOWLB_FIXTURE_DIR) + "/expected.txt");
@@ -97,7 +98,9 @@ TEST(Rules, EveryFamilyRepresentedInFixtures) {
   std::set<std::string> codes;
   for (const auto& f : res.fresh) codes.insert(f.rule->code);
   for (const char* code :
-       {"D001", "D002", "D003", "L001", "L002", "P001", "P002", "S001"})
+       {"D001", "D002", "D003", "L001", "L002", "P001", "P002", "S001",
+        "S002", "W001", "W002", "W003", "T001", "T002", "T003", "F001",
+        "F002"})
     EXPECT_TRUE(codes.count(code)) << "fixture suite lost coverage of "
                                    << code;
 }
@@ -137,7 +140,7 @@ TEST(Baseline, RoundTripAndStaleness) {
   opts.update_baseline = false;
   LintResult res = run_lint(opts);
   EXPECT_TRUE(res.clean());
-  EXPECT_EQ(res.baselined.size(), 15u);
+  EXPECT_EQ(res.baselined.size(), 27u);
   EXPECT_TRUE(res.stale_baseline.empty());
 
   // A baseline entry that matches nothing is reported stale, not fatal.
@@ -159,6 +162,35 @@ TEST(Baseline, MissingFileMeansEmpty) {
   const LintResult res = run_lint(opts);
   EXPECT_FALSE(res.clean());
   EXPECT_TRUE(res.stale_baseline.empty());
+}
+
+// Non-vacuity guard: the wire rules only check structs the extractor can
+// parse, so silently-opaque extraction would make lint_self pass for the
+// wrong reason. Pin the real protocol structs to fully-parsed status.
+TEST(ProtoModel, RealProtocolStructsAreNotOpaque) {
+  const std::string path = std::string(NOWLB_SRC_DIR) + "/lb/protocol.hpp";
+  std::vector<ScannedFile> files;
+  files.push_back(scan_source("lb/protocol.hpp", read_file(path)));
+  const ProtoModel model = build_proto_model(files);
+
+  std::set<std::string> want = {"StatusReport", "MoveOrder", "Instructions"};
+  for (const auto& s : model.structs) {
+    if (!want.count(s.name)) continue;
+    want.erase(s.name);
+    EXPECT_TRUE(s.has_encode) << s.name;
+    EXPECT_TRUE(s.has_decode) << s.name;
+    EXPECT_TRUE(s.has_size) << s.name;
+    EXPECT_FALSE(s.encode_opaque) << s.name;
+    EXPECT_FALSE(s.decode_opaque) << s.name;
+    EXPECT_FALSE(s.size_opaque) << s.name;
+    // StatusReport and Instructions carry optional marker trailers.
+    if (s.name != "MoveOrder") {
+      EXPECT_TRUE(s.decode_has_trailer_loop) << s.name;
+      EXPECT_TRUE(s.decode_trailer_has_else) << s.name;
+    }
+  }
+  EXPECT_TRUE(want.empty()) << "protocol struct missing from model";
+  EXPECT_FALSE(model.trailers.empty());
 }
 
 TEST(Catalog, NamesResolve) {

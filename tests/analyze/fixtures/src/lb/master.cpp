@@ -1,0 +1,24 @@
+// F-rule fixture: the master half of the configured endpoint pair
+// (lb/master.cpp, lb/slave.cpp).
+#include "lb/orders.hpp"
+
+namespace lbfx {
+
+// Sent here, received in slave.cpp: clean.
+inline constexpr sim::Tag kTagPaired = 7101;
+// Sent here, received only in relay.cpp (outside the pair): F002.
+inline constexpr sim::Tag kTagLost = 7102;
+// Never sent anywhere; slave.cpp waits on it: F001.
+inline constexpr sim::Tag kTagUnsent = 7103;
+
+struct MasterCtx {
+  void send(int dst, sim::Tag tag);
+  int recv(sim::Tag tag);
+};
+
+void master_pump(MasterCtx& ctx) {
+  ctx.send(2, kTagPaired);
+  ctx.send(2, kTagLost);
+}
+
+}  // namespace lbfx

@@ -1,0 +1,16 @@
+// F-rule fixture: an out-of-pair observer. Receiving kTagLost here keeps
+// it globally received (no F001) while the pair itself stays asymmetric.
+#include "lb/orders.hpp"
+
+namespace lbfx {
+
+struct RelayCtx {
+  int recv(sim::Tag tag);
+};
+
+void relay_pump(RelayCtx& ctx) {
+  if (ctx.recv(kTagLost) != 0) {
+  }
+}
+
+}  // namespace lbfx

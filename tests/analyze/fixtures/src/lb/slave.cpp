@@ -1,0 +1,17 @@
+// F-rule fixture: the slave half of the configured endpoint pair.
+#include "lb/orders.hpp"
+
+namespace lbfx {
+
+struct SlaveCtx {
+  int recv(sim::Tag tag);
+};
+
+void slave_pump(SlaveCtx& ctx) {
+  while (ctx.recv(kTagPaired) != 0) {
+  }
+  if (ctx.recv(kTagUnsent) == kTagUnsent) {
+  }
+}
+
+}  // namespace lbfx

@@ -1,0 +1,146 @@
+// W/T-rule fixture: wire structs with deliberate contract drift.
+#pragma once
+
+#include "lb/orders.hpp"
+
+namespace msg {
+struct Writer;
+struct Reader;
+}  // namespace msg
+
+namespace lbfx {
+
+// T001: two markers sharing a byte value.
+inline constexpr std::uint8_t kTrailerAlpha = 1;
+inline constexpr std::uint8_t kTrailerBeta = 1;
+inline constexpr std::uint8_t kTrailerGamma = 3;
+
+// W001: decode reads the two fields in the opposite order.
+struct BadOrder {
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  void encode(msg::Writer& w) const { w.put(a).put(b); }
+  static BadOrder decode(msg::Reader& r) {
+    BadOrder s;
+    s.b = r.get<std::int32_t>();
+    s.a = r.get<std::int32_t>();
+    return s;
+  }
+};
+
+// W002: encoded_size() forgets the tail field.
+struct BadSize {
+  std::int32_t head = 0;
+  double tail = 0;
+
+  std::size_t encoded_size() const { return sizeof(head); }
+  void encode(msg::Writer& w) const { w.put(head).put(tail); }
+  static BadSize decode(msg::Reader& r) {
+    BadSize s;
+    s.head = r.get<std::int32_t>();
+    s.tail = r.get<double>();
+    return s;
+  }
+};
+
+// W003: encode with no decode anywhere.
+struct HalfOpen {
+  std::int32_t x = 0;
+
+  void encode(msg::Writer& w) const { w.put(x); }
+};
+
+// T002 three ways: the encoder appends kTrailerAlpha (no decode branch),
+// the decoder handles kTrailerGamma (never appended), and the trailer
+// loop has no rejecting else.
+struct BadTrailer {
+  std::uint8_t opt = 0;
+  std::int32_t extra = 0;
+
+  void encode(msg::Writer& w) const {
+    w.put(extra);
+    if (opt) {
+      w.put(kTrailerAlpha);
+      w.put(extra);
+    }
+  }
+  static BadTrailer decode(msg::Reader& r) {
+    BadTrailer s;
+    s.extra = r.get<std::int32_t>();
+    while (r.remaining() > 0) {
+      const auto marker = r.get<std::uint8_t>();
+      if (marker == kTrailerGamma) {
+        s.extra = r.get<std::int32_t>();
+      }
+    }
+    return s;
+  }
+};
+
+// T003: OrderA emits alpha before gamma, OrderB the reverse.
+struct OrderA {
+  std::uint8_t pa = 0;
+  std::uint8_t pg = 0;
+  std::int32_t va = 0;
+  std::int32_t vg = 0;
+
+  void encode(msg::Writer& w) const {
+    if (pa) {
+      w.put(kTrailerAlpha);
+      w.put(va);
+    }
+    if (pg) {
+      w.put(kTrailerGamma);
+      w.put(vg);
+    }
+  }
+  static OrderA decode(msg::Reader& r) {
+    OrderA s;
+    while (r.remaining() > 0) {
+      const auto marker = r.get<std::uint8_t>();
+      if (marker == kTrailerAlpha) {
+        s.va = r.get<std::int32_t>();
+      } else if (marker == kTrailerGamma) {
+        s.vg = r.get<std::int32_t>();
+      } else {
+        s.pa = 0;
+      }
+    }
+    return s;
+  }
+};
+
+struct OrderB {
+  std::uint8_t pa = 0;
+  std::uint8_t pg = 0;
+  std::int32_t va = 0;
+  std::int32_t vg = 0;
+
+  void encode(msg::Writer& w) const {
+    if (pg) {
+      w.put(kTrailerGamma);
+      w.put(vg);
+    }
+    if (pa) {
+      w.put(kTrailerAlpha);
+      w.put(va);
+    }
+  }
+  static OrderB decode(msg::Reader& r) {
+    OrderB s;
+    while (r.remaining() > 0) {
+      const auto marker = r.get<std::uint8_t>();
+      if (marker == kTrailerGamma) {
+        s.vg = r.get<std::int32_t>();
+      } else if (marker == kTrailerAlpha) {
+        s.va = r.get<std::int32_t>();
+      } else {
+        s.pa = 0;
+      }
+    }
+    return s;
+  }
+};
+
+}  // namespace lbfx

@@ -1,0 +1,74 @@
+// W/T-rule fixture: a fully symmetric wire contract — nested struct
+// vectors, a scalar vector, and an optional marker trailer. Must produce
+// zero findings: every shape here also appears in src/lb/protocol.hpp.
+#pragma once
+
+#include "lb/wire.hpp"
+
+namespace lbfx {
+
+inline constexpr std::uint8_t kTrailerOpt = 9;
+
+struct Part {
+  std::int32_t id = 0;
+  double weight = 0;
+
+  static constexpr std::size_t encoded_size() {
+    return sizeof(id) + sizeof(weight);
+  }
+  void encode(msg::Writer& w) const { w.put(id).put(weight); }
+  static Part decode(msg::Reader& r) {
+    Part p;
+    p.id = r.get<std::int32_t>();
+    p.weight = r.get<double>();
+    return p;
+  }
+};
+
+struct CleanMsg {
+  std::int32_t round = 0;
+  std::vector<Part> parts;
+  std::vector<std::int32_t> items;
+
+  std::uint8_t opt = 0;
+  std::int32_t opt_val = 0;
+
+  std::size_t encoded_size() const {
+    std::size_t n = sizeof(round) + sizeof(std::uint32_t) +
+                    parts.size() * Part::encoded_size() +
+                    sizeof(std::uint64_t) + items.size() * sizeof(std::int32_t);
+    if (opt) n += sizeof(kTrailerOpt) + sizeof(opt_val);
+    return n;
+  }
+
+  void encode(msg::Writer& w) const {
+    w.put(round);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(parts.size()));
+    for (const auto& p : parts) p.encode(w);
+    w.put_vec(items);
+    if (opt) {
+      w.put(kTrailerOpt);
+      w.put(opt_val);
+    }
+  }
+  static CleanMsg decode(msg::Reader& r) {
+    CleanMsg m;
+    m.round = r.get<std::int32_t>();
+    const auto n = r.get<std::uint32_t>();
+    m.parts.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.parts.push_back(Part::decode(r));
+    m.items = r.get_vec<std::int32_t>();
+    while (r.remaining() > 0) {
+      const auto marker = r.get<std::uint8_t>();
+      if (marker == kTrailerOpt) {
+        m.opt = 1;
+        m.opt_val = r.get<std::int32_t>();
+      } else {
+        return m;
+      }
+    }
+    return m;
+  }
+};
+
+}  // namespace lbfx

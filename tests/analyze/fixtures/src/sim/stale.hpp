@@ -1,0 +1,22 @@
+// S-rule fixture: suppression hygiene — used, stale, acknowledged-stale,
+// and unknown-rule NOLINTs.
+#pragma once
+
+#include <map>
+
+namespace simfx {
+
+// Used: D003 fires on the next line and this suppression absorbs it.
+// NOLINTNEXTLINE(nowlb-unordered: bounded debug map, never iterated for output)
+std::unordered_map<int, int> debug_map();
+
+// Stale: nothing on this line trips D001 any more -> S002.
+int zero();  // NOLINT(nowlb-wallclock: guard kept after the clock call moved)
+
+// Stale but acknowledged: the S002 finding is itself suppressed.
+int one();  // NOLINT(nowlb-entropy: migration leftover) NOLINT(nowlb-nolint-stale: acknowledged while the entropy shim migrates)
+
+// Unknown rule name: S001.
+int two();  // NOLINT(nowlb-made-up: no such rule)
+
+}  // namespace simfx
